@@ -1,0 +1,212 @@
+// Command expsweep regenerates the paper's evaluation artefacts: the
+// Fig. 8/9/12/13 gateway-density sweeps, the Fig. 10/11 throughput time
+// series, the Fig. 7 dataset statistics, and the ablations (α sensitivity,
+// Queue-based Class-A, random gateway placement).
+//
+// Usage:
+//
+//	expsweep -fig 8 -env urban         # one figure, one environment
+//	expsweep -fig all                  # everything (long)
+//	expsweep -fig 8 -quick             # reduced scale for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlorass"
+	"mlorass/internal/experiment"
+	"mlorass/internal/routing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "expsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("expsweep", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | ablations | all")
+		envName = fs.String("env", "both", "environment: urban | rural | both")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		quick   = fs.Bool("quick", false, "reduced scale (shorter horizon, smaller fleet)")
+		quiet   = fs.Bool("quiet", false, "suppress per-run progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := experiment.DefaultConfig()
+	if *quick {
+		base = experiment.QuickConfig()
+	}
+	base.Seed = *seed
+
+	progress := func(line string) { fmt.Fprintln(os.Stderr, "  run:", line) }
+	if *quiet {
+		progress = nil
+	}
+
+	envs, err := parseEnvs(*envName)
+	if err != nil {
+		return err
+	}
+
+	switch *fig {
+	case "7":
+		return fig7(base)
+	case "8", "9", "12", "13":
+		return sweepFig(base, *fig, envs, progress)
+	case "10":
+		return series(base, experiment.Urban)
+	case "11":
+		return series(base, experiment.Rural)
+	case "ablations":
+		return ablations(base)
+	case "all":
+		if err := fig7(base); err != nil {
+			return err
+		}
+		if err := sweepFig(base, "8+9+12+13", envs, progress); err != nil {
+			return err
+		}
+		if err := series(base, experiment.Urban); err != nil {
+			return err
+		}
+		if err := series(base, experiment.Rural); err != nil {
+			return err
+		}
+		return ablations(base)
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+}
+
+func parseEnvs(name string) ([]experiment.Environment, error) {
+	switch name {
+	case "urban":
+		return []experiment.Environment{experiment.Urban}, nil
+	case "rural":
+		return []experiment.Environment{experiment.Rural}, nil
+	case "both":
+		return []experiment.Environment{experiment.Urban, experiment.Rural}, nil
+	default:
+		return nil, fmt.Errorf("unknown environment %q", name)
+	}
+}
+
+func fig7(base experiment.Config) error {
+	active, hist, err := experiment.Fig7Data(base.Seed, base.NumRoutes, base.PeakHeadway)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 7a: active buses per hour")
+	for h, n := range active {
+		fmt.Printf("  %02d:00  %5d  %s\n", h, n, bar(n, maxInt(active)))
+	}
+	fmt.Println("Fig 7b: bus active-duration distribution (30 min bins)")
+	counts := hist.Counts()
+	for i, c := range counts {
+		fmt.Printf("  %5.1fh  %5d  %s\n", hist.BinCenter(i)/3600, c, bar(c, maxInt(counts)))
+	}
+	return nil
+}
+
+func sweepFig(base experiment.Config, which string, envs []experiment.Environment, progress func(string)) error {
+	for _, env := range envs {
+		points, err := experiment.SweepFigures(base, env, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.Fig8Table(points))
+		fmt.Println(experiment.Fig8MatchedTable(points))
+		fmt.Println(experiment.Fig9Table(points))
+		fmt.Println(experiment.Fig12Table(points))
+		fmt.Println(experiment.Fig13Table(points))
+		fmt.Println("overhead ratios vs NoRouting (paper: 1.6-2.2x):")
+		ratios := experiment.OverheadRatios(points)
+		for _, gw := range experiment.GatewaySweep() {
+			if m, ok := ratios[gw]; ok {
+				fmt.Printf("  gw=%3d  RCA-ETX %.2fx  ROBC %.2fx\n",
+					gw, m[routing.SchemeRCAETX], m[routing.SchemeROBC])
+			}
+		}
+		fmt.Println()
+	}
+	_ = which
+	return nil
+}
+
+func series(base experiment.Config, env experiment.Environment) error {
+	out, err := experiment.ThroughputSeries(base, env)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Fig %d: msgs arriving per %s over the day — %s",
+		map[experiment.Environment]int{experiment.Urban: 10, experiment.Rural: 11}[env],
+		base.ThroughputBin, env)
+	fmt.Println(experiment.SeriesTable(out, base.ThroughputBin, title))
+	return nil
+}
+
+func ablations(base experiment.Config) error {
+	fmt.Println("Ablation: EWMA weight α (ROBC)")
+	byAlpha, err := experiment.AblationAlpha(base, routing.SchemeROBC, []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+	if err != nil {
+		return err
+	}
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		r := byAlpha[a]
+		fmt.Printf("  α=%.1f  delay %7.1fs  delivered %d\n", a, r.Delay.Mean(), r.Delivered)
+	}
+
+	fmt.Println("Ablation: Modified Class-C vs Queue-based Class-A (ROBC)")
+	modC, queueA, err := experiment.AblationClass(base, routing.SchemeROBC)
+	if err != nil {
+		return err
+	}
+	saving := 1 - queueA.RadioOnPerNode.Mean()/modC.RadioOnPerNode.Mean()
+	fmt.Printf("  Modified-C : delay %7.1fs  delivered %d  radio-on %s\n",
+		modC.Delay.Mean(), modC.Delivered, time.Duration(modC.RadioOnPerNode.Mean()*float64(time.Second)).Round(time.Second))
+	fmt.Printf("  Queue-A    : delay %7.1fs  delivered %d  radio-on %s  (saves %.0f%%)\n",
+		queueA.Delay.Mean(), queueA.Delivered, time.Duration(queueA.RadioOnPerNode.Mean()*float64(time.Second)).Round(time.Second), 100*saving)
+
+	fmt.Println("Ablation: gateway placement (ROBC)")
+	grid, random, aware, err := experiment.AblationPlacement(base, routing.SchemeROBC)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  grid        : delay %7.1fs  delivered %d\n", grid.Delay.Mean(), grid.Delivered)
+	fmt.Printf("  random      : delay %7.1fs  delivered %d\n", random.Delay.Mean(), random.Delivered)
+	fmt.Printf("  route-aware : delay %7.1fs  delivered %d\n", aware.Delay.Mean(), aware.Delivered)
+	return nil
+}
+
+func bar(v, max int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := v * 40 / max
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+var _ = mlorass.DefaultConfig // keep the public API linked for doc purposes

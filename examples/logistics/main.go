@@ -1,0 +1,95 @@
+// Logistics: the paper's motivating use case — LoRa trackers on high-value
+// parcels riding a vehicle fleet (Sec. VII-A: "LoRa devices are attached to
+// high-value parcels to track and report their conditions in real-time").
+//
+// This example builds a custom dataset (a small delivery fleet over a town-
+// sized area), runs ROBC against plain LoRaWAN, and reports what forwarding
+// buys the parcels that ride poorly-covered routes.
+//
+//	go run ./examples/logistics
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mlorass"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "logistics:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 6 km × 6 km town with two warehouse corridors: the northern one
+	// passes the depot gateways, the southern one threads between them.
+	area := mlorass.SquareArea(6000)
+	routes := []mlorass.Route{
+		{
+			ID:       "NORTH",
+			SpeedMPS: 6,
+			Points: []mlorass.Point{
+				{X: 500, Y: 4500}, {X: 2000, Y: 4300}, {X: 3500, Y: 4600}, {X: 5500, Y: 4400},
+			},
+		},
+		{
+			ID:       "SOUTH",
+			SpeedMPS: 5,
+			Points: []mlorass.Point{
+				{X: 500, Y: 1500}, {X: 2000, Y: 1400}, {X: 3500, Y: 1700}, {X: 5500, Y: 1500},
+			},
+		},
+		{
+			ID:       "CROSS",
+			SpeedMPS: 7,
+			Points: []mlorass.Point{
+				{X: 3000, Y: 500}, {X: 3000, Y: 2500}, {X: 2900, Y: 4500}, {X: 3000, Y: 5500},
+			},
+		},
+	}
+	var trips []mlorass.Trip
+	id := 0
+	// Vans leave every 12 minutes on each corridor through the working day.
+	for _, route := range routes {
+		for _, reverse := range []bool{false, true} {
+			for start := 6 * time.Hour; start < 20*time.Hour; start += 12 * time.Minute {
+				trips = append(trips, mlorass.Trip{
+					ID:       id,
+					RouteID:  route.ID,
+					Start:    start,
+					Duration: 90 * time.Minute,
+					Reverse:  reverse,
+				})
+				id++
+			}
+		}
+	}
+	dataset := &mlorass.Dataset{Area: area, Routes: routes, Trips: trips}
+
+	fmt.Printf("Delivery fleet: %d routes, %d van shifts, %d gateways near the northern corridor\n\n",
+		len(routes), len(trips), 4)
+
+	for _, scheme := range []mlorass.Scheme{mlorass.SchemeNoRouting, mlorass.SchemeROBC} {
+		cfg := mlorass.DefaultConfig()
+		cfg.Dataset = dataset
+		cfg.Scheme = scheme
+		cfg.Environment = mlorass.Urban
+		cfg.NumGateways = 4
+		cfg.Duration = 24 * time.Hour
+		res, err := mlorass.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s delivered %5d/%5d (%.1f%%)  mean delay %6.0fs  p95 %6.0fs  hops %.2f\n",
+			scheme, res.Delivered, res.Generated, 100*res.DeliveryRatio(),
+			res.Delay.Mean(), res.DelayPercentile(95), res.Hops.Mean())
+	}
+
+	fmt.Println("\nParcels on the southern corridor have no direct gateway contact;")
+	fmt.Println("with ROBC their telemetry exits through vans on the crossing route.")
+	return nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// ETXEstimator is the classic Expected Transmission Count metric (De Couto
+// et al.), kept as an ablation baseline: the inverse of the link's delivery
+// ratio over a sliding window of attempts. Classic ETX ignores contact
+// dynamics entirely, which is exactly the deficiency RCA-ETX addresses.
+type ETXEstimator struct {
+	window  int
+	history []bool // true = delivered
+	head    int
+	filled  bool
+}
+
+// NewETXEstimator builds an estimator over a sliding window of the given
+// number of transmission attempts (minimum 1).
+func NewETXEstimator(window int) *ETXEstimator {
+	if window < 1 {
+		window = 1
+	}
+	return &ETXEstimator{window: window, history: make([]bool, window)}
+}
+
+// Record adds one transmission attempt outcome.
+func (e *ETXEstimator) Record(delivered bool) {
+	e.history[e.head] = delivered
+	e.head++
+	if e.head == e.window {
+		e.head = 0
+		e.filled = true
+	}
+}
+
+// DeliveryRatio returns the fraction of recorded attempts that succeeded;
+// with no history it returns 0.
+func (e *ETXEstimator) DeliveryRatio() float64 {
+	n := e.window
+	if !e.filled {
+		n = e.head
+	}
+	if n == 0 {
+		return 0
+	}
+	ok := 0
+	for i := 0; i < n; i++ {
+		if e.history[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(n)
+}
+
+// ETX returns 1/delivery-ratio, or +Inf for a dead link.
+func (e *ETXEstimator) ETX() float64 {
+	r := e.DeliveryRatio()
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / r
+}
+
+// CAETXEstimator is the Contact-Aware ETX of Yang et al. that RCA-ETX
+// builds on, kept as an ablation baseline. It characterises the packet
+// service time by its *long-term* statistics (cumulative mean and variance
+// over all observed slots) instead of RCA-ETX's real-time EWMA — the
+// staleness the paper argues disqualifies it for MLoRa-SS, where low duty
+// cycles make historical µ and σ outdated (Sec. III-C).
+type CAETXEstimator struct {
+	n    uint64
+	mean float64
+	m2   float64 // Welford accumulator
+
+	lastContactEnd time.Duration
+	lastContactCap float64
+	everContacted  bool
+	defaultCap     float64
+}
+
+// NewCAETXEstimator builds a baseline estimator with the given default
+// contact capacity in packets/second (must be positive; falls back to 0.05).
+func NewCAETXEstimator(defaultCapacityPPS float64) *CAETXEstimator {
+	if defaultCapacityPPS <= 0 {
+		defaultCapacityPPS = 0.05
+	}
+	return &CAETXEstimator{defaultCap: defaultCapacityPPS}
+}
+
+// Observe mirrors GatewayEstimator.Observe but accumulates long-term
+// statistics rather than an EWMA.
+func (e *CAETXEstimator) Observe(now time.Duration, connected bool, capacityPPS float64, tDelta time.Duration) {
+	if tDelta < 0 {
+		tDelta = 0
+	}
+	var pst float64
+	switch {
+	case connected:
+		cap := capacityPPS
+		if cap <= 0 {
+			cap = e.defaultCap
+		}
+		pst = 1/cap + tDelta.Seconds()
+		e.lastContactEnd = now
+		e.lastContactCap = cap
+		e.everContacted = true
+	case e.everContacted:
+		pst = 1/e.lastContactCap + (now - e.lastContactEnd).Seconds() + tDelta.Seconds()
+	default:
+		pst = 1/e.defaultCap + now.Seconds() + tDelta.Seconds()
+	}
+	// Welford's online mean/variance.
+	e.n++
+	d := pst - e.mean
+	e.mean += d / float64(e.n)
+	e.m2 += d * (pst - e.mean)
+}
+
+// CAETX returns the long-term mean packet service time in seconds (+Inf
+// before any observation).
+func (e *CAETXEstimator) CAETX() float64 {
+	if e.n == 0 {
+		return math.Inf(1)
+	}
+	return e.mean
+}
+
+// Variance returns the long-term PST variance (0 with fewer than two
+// observations).
+func (e *CAETXEstimator) Variance() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	return e.m2 / float64(e.n-1)
+}
+
+// Observations returns the number of recorded slots.
+func (e *CAETXEstimator) Observations() uint64 { return e.n }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestETXEstimatorBasics(t *testing.T) {
+	e := NewETXEstimator(4)
+	if !math.IsInf(e.ETX(), 1) {
+		t.Fatal("fresh ETX not +Inf")
+	}
+	e.Record(true)
+	e.Record(true)
+	if got := e.ETX(); got != 1 {
+		t.Fatalf("perfect link ETX = %v", got)
+	}
+	e.Record(false)
+	e.Record(false)
+	if got := e.DeliveryRatio(); got != 0.5 {
+		t.Fatalf("delivery ratio = %v", got)
+	}
+	if got := e.ETX(); got != 2 {
+		t.Fatalf("ETX = %v, want 2", got)
+	}
+}
+
+func TestETXSlidingWindow(t *testing.T) {
+	e := NewETXEstimator(2)
+	e.Record(false)
+	e.Record(false)
+	e.Record(true)
+	e.Record(true)
+	// Window of 2 only remembers the two successes.
+	if got := e.ETX(); got != 1 {
+		t.Fatalf("windowed ETX = %v, want 1", got)
+	}
+}
+
+func TestETXDeadLink(t *testing.T) {
+	e := NewETXEstimator(3)
+	for i := 0; i < 5; i++ {
+		e.Record(false)
+	}
+	if !math.IsInf(e.ETX(), 1) {
+		t.Fatalf("dead link ETX = %v", e.ETX())
+	}
+}
+
+func TestETXWindowFloor(t *testing.T) {
+	e := NewETXEstimator(0) // clamps to 1
+	e.Record(true)
+	if got := e.ETX(); got != 1 {
+		t.Fatalf("ETX = %v", got)
+	}
+}
+
+func TestCAETXLongTermMean(t *testing.T) {
+	e := NewCAETXEstimator(0.1)
+	if !math.IsInf(e.CAETX(), 1) {
+		t.Fatal("fresh CA-ETX not +Inf")
+	}
+	// Two connected slots at capacities 0.1 and 0.05 → PSTs 10 and 20.
+	e.Observe(0, true, 0.1, 0)
+	e.Observe(3*time.Minute, true, 0.05, 0)
+	if got := e.CAETX(); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("CA-ETX mean = %v, want 15", got)
+	}
+	if got := e.Variance(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("variance = %v, want 50", got)
+	}
+	if e.Observations() != 2 {
+		t.Fatalf("observations = %d", e.Observations())
+	}
+}
+
+func TestCAETXStaleness(t *testing.T) {
+	// The paper's core argument (Sec. III-C): after a long stable history
+	// the long-term CA-ETX reacts sluggishly to a sudden disconnection,
+	// while RCA-ETX (EWMA) tracks it. Reproduce that ordering.
+	cfg := DefaultGatewayConfig()
+	rca := mustEstimator(t, cfg)
+	ca := NewCAETXEstimator(cfg.DefaultCapacity)
+
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ { // long good history: PST 10 s
+		rca.Observe(now, true, 0.1, 0)
+		ca.Observe(now, true, 0.1, 0)
+		now += cfg.Delta
+	}
+	for i := 0; i < 10; i++ { // sudden disconnection
+		rca.Observe(now, false, 0, 0)
+		ca.Observe(now, false, 0, 0)
+		now += cfg.Delta
+	}
+	if rca.RCAETX() <= ca.CAETX() {
+		t.Fatalf("RCA-ETX %v should exceed stale CA-ETX %v after disconnection", rca.RCAETX(), ca.CAETX())
+	}
+}
+
+func TestCAETXDefaultCapacityFallback(t *testing.T) {
+	e := NewCAETXEstimator(-1) // invalid → falls back to 0.05
+	e.Observe(0, true, 0, 0)
+	if got := e.CAETX(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("CA-ETX = %v, want 20 (1/0.05)", got)
+	}
+}
+
+func TestCAETXNeverContacted(t *testing.T) {
+	e := NewCAETXEstimator(0.1)
+	e.Observe(10*time.Minute, false, 0, 0)
+	// 1/0.1 + 600 s elapsed.
+	if got := e.CAETX(); math.Abs(got-610) > 1e-9 {
+		t.Fatalf("orphan CA-ETX = %v, want 610", got)
+	}
+}

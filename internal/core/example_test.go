@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"mlorass/internal/core"
+)
+
+// ExampleGatewayEstimator shows the RCA-ETX life cycle: the metric tracks
+// contact history in real time, growing while a device is disconnected and
+// recovering once it reaches a gateway again.
+func ExampleGatewayEstimator() {
+	est, err := core.NewGatewayEstimator(core.DefaultGatewayConfig())
+	if err != nil {
+		panic(err)
+	}
+	slot := 3 * time.Minute
+
+	// Three connected slots at 0.05 packets/s (PST 20 s each).
+	now := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		est.Observe(now, true, 0.05, 0)
+		now += slot
+	}
+	fmt.Printf("connected: %.1f s\n", est.RCAETX())
+
+	// Two disconnected slots: the estimate climbs with elapsed time.
+	for i := 0; i < 2; i++ {
+		est.Observe(now, false, 0, 0)
+		now += slot
+	}
+	fmt.Printf("after outage: %.1f s\n", est.RCAETX())
+
+	// Reconnection pulls it back down (EWMA, α = 0.5).
+	est.Observe(now, true, 0.05, 0)
+	fmt.Printf("reconnected: %.1f s\n", est.RCAETX())
+	// Output:
+	// connected: 20.0 s
+	// after outage: 245.0 s
+	// reconnected: 132.5 s
+}
+
+// ExampleShouldForwardGreedy demonstrates the Eq. (1) decision: forward
+// exactly when the neighbour's total cost undercuts holding the data.
+func ExampleShouldForwardGreedy() {
+	own := 800.0       // my RCA-ETX to the sinks, seconds
+	neighbour := 120.0 // their advertised RCA-ETX
+	link := 200.0      // RCA-ETX of the link between us (Eq. 6)
+
+	fmt.Println(core.ShouldForwardGreedy(own, neighbour, link))
+	fmt.Println(core.ShouldForwardGreedy(300, neighbour, link))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleROBCTransfer shows the backpressure transfer amount δ: enough to
+// equalise the φ-corrected queues, never more than the sender holds.
+func ExampleROBCTransfer() {
+	myQueue, theirQueue := 30, 6
+	myPhi, theirPhi := 0.02, 0.05 // they reach gateways 2.5x as fast
+
+	if core.ShouldForwardROBC(myQueue, theirQueue, myPhi, theirPhi) {
+		delta := core.ROBCTransfer(myQueue, theirQueue, myPhi, theirPhi)
+		fmt.Printf("forward %d messages\n", delta)
+	}
+	// Output:
+	// forward 28 messages
+}
+
+// ExampleLinkModel maps an overheard RSSI to a link cost per Eqs. (5)–(6).
+func ExampleLinkModel() {
+	link := core.DefaultLinkModel(0.023) // cmax: one bundle per duty window
+
+	for _, rssi := range []float64{-80, -100, -130} {
+		fmt.Printf("RSSI %4.0f dBm -> capacity %.4f pkt/s\n", rssi, link.Capacity(rssi))
+	}
+	// Output:
+	// RSSI  -80 dBm -> capacity 0.0187 pkt/s
+	// RSSI -100 dBm -> capacity 0.0102 pkt/s
+	// RSSI -130 dBm -> capacity 0.0000 pkt/s
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkModel maps an overheard broadcast's RSSI to a device-to-device link
+// capacity (Eq. 5) and on to RCA-ETX(x, y) = 1/c (Eq. 6).
+//
+// The linear RSSI→capacity ramp between GammaMin and GammaMax mirrors the
+// Contiki link stack the paper cites; users may substitute a hyperbolic
+// shape by implementing CapacityFunc.
+type LinkModel struct {
+	// GammaMinDBm is γ_min: at or below this RSSI the link has zero
+	// capacity.
+	GammaMinDBm float64
+	// GammaMaxDBm is γ_max: at or above this RSSI the link reaches
+	// CMaxPPS.
+	GammaMaxDBm float64
+	// CMaxPPS is c_max(x,y), the maximum link service rate in packets
+	// per second (one bundled frame per duty-cycled transmission
+	// opportunity).
+	CMaxPPS float64
+	// CapacityFunc optionally replaces the linear ramp; it receives the
+	// normalised signal quality in [0, 1] and returns a fraction of
+	// CMaxPPS in [0, 1].
+	CapacityFunc func(norm float64) float64 `json:"-"`
+}
+
+// DefaultLinkModel returns the evaluation's device-to-device model: a linear
+// ramp between the SF7 sensitivity floor and a strong-signal ceiling.
+func DefaultLinkModel(cmaxPPS float64) LinkModel {
+	return LinkModel{GammaMinDBm: -124, GammaMaxDBm: -70, CMaxPPS: cmaxPPS}
+}
+
+// Validate reports configuration errors.
+func (m LinkModel) Validate() error {
+	if m.GammaMaxDBm <= m.GammaMinDBm {
+		return fmt.Errorf("core: γmax %v must exceed γmin %v", m.GammaMaxDBm, m.GammaMinDBm)
+	}
+	if m.CMaxPPS <= 0 {
+		return fmt.Errorf("core: cmax %v must be positive", m.CMaxPPS)
+	}
+	return nil
+}
+
+// Capacity computes c(x,y)(t) from an observed RSSI per Eq. (5):
+//
+//	c = cmax · (γ − γmin)/(γmax − γmin)   for γmin ≤ γ ≤ γmax
+//	c = cmax                              for γ > γmax
+//	c = 0                                 for γ < γmin
+func (m LinkModel) Capacity(rssiDBm float64) float64 {
+	switch {
+	case rssiDBm < m.GammaMinDBm:
+		return 0
+	case rssiDBm > m.GammaMaxDBm:
+		return m.CMaxPPS
+	}
+	norm := (rssiDBm - m.GammaMinDBm) / (m.GammaMaxDBm - m.GammaMinDBm)
+	if m.CapacityFunc != nil {
+		f := m.CapacityFunc(norm)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return m.CMaxPPS * f
+	}
+	return m.CMaxPPS * norm
+}
+
+// RCAETX computes RCA-ETX(x, y) = 1/c per Eq. (6), in seconds. A dead link
+// (zero capacity) returns +Inf so it never wins a forwarding comparison.
+func (m LinkModel) RCAETX(rssiDBm float64) float64 {
+	c := m.Capacity(rssiDBm)
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / c
+}
+
+// ShouldForwardGreedy implements the RCA-ETX forwarding rule, Eq. (1):
+// device x hands its data to neighbour y exactly when
+//
+//	RCA-ETX(x,S) > RCA-ETX(y,S) + RCA-ETX(x,y).
+//
+// Infinite own-cost with finite neighbour cost forwards; any non-finite
+// right-hand side refuses.
+func ShouldForwardGreedy(ownETX, neighbourETX, linkETX float64) bool {
+	rhs := neighbourETX + linkETX
+	if math.IsNaN(rhs) || math.IsInf(rhs, 1) {
+		return false
+	}
+	return ownETX > rhs
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkModelValidate(t *testing.T) {
+	if err := DefaultLinkModel(0.1).Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	bad := []LinkModel{
+		{GammaMinDBm: -70, GammaMaxDBm: -124, CMaxPPS: 1}, // inverted
+		{GammaMinDBm: -124, GammaMaxDBm: -70, CMaxPPS: 0}, // zero cmax
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestCapacityEq5(t *testing.T) {
+	m := LinkModel{GammaMinDBm: -120, GammaMaxDBm: -80, CMaxPPS: 2}
+	tests := []struct {
+		rssi float64
+		want float64
+	}{
+		{-130, 0}, // below γmin
+		{-120, 0}, // at γmin: zero capacity
+		{-100, 1}, // midpoint of the ramp
+		{-80, 2},  // at γmax: full capacity
+		{-50, 2},  // above γmax clamps
+	}
+	for _, tt := range tests {
+		if got := m.Capacity(tt.rssi); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Capacity(%v) = %v, want %v", tt.rssi, got, tt.want)
+		}
+	}
+}
+
+func TestRCAETXEq6(t *testing.T) {
+	m := LinkModel{GammaMinDBm: -120, GammaMaxDBm: -80, CMaxPPS: 2}
+	if got := m.RCAETX(-80); got != 0.5 {
+		t.Fatalf("RCAETX at full capacity = %v, want 0.5", got)
+	}
+	if got := m.RCAETX(-125); !math.IsInf(got, 1) {
+		t.Fatalf("RCAETX of dead link = %v, want +Inf", got)
+	}
+}
+
+func TestCustomCapacityFunc(t *testing.T) {
+	// A hyperbolic shape, as the paper suggests users may substitute.
+	m := LinkModel{
+		GammaMinDBm: -120, GammaMaxDBm: -80, CMaxPPS: 1,
+		CapacityFunc: func(norm float64) float64 { return norm * norm },
+	}
+	if got := m.Capacity(-100); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("quadratic capacity at midpoint = %v, want 0.25", got)
+	}
+	// Out-of-range custom outputs are clamped.
+	m.CapacityFunc = func(norm float64) float64 { return 5 }
+	if got := m.Capacity(-100); got != 1 {
+		t.Fatalf("overdriven capacity = %v, want clamped 1", got)
+	}
+	m.CapacityFunc = func(norm float64) float64 { return -5 }
+	if got := m.Capacity(-100); got != 0 {
+		t.Fatalf("negative capacity = %v, want clamped 0", got)
+	}
+}
+
+func TestShouldForwardGreedyEq1(t *testing.T) {
+	inf := math.Inf(1)
+	tests := []struct {
+		name                 string
+		own, neighbour, link float64
+		want                 bool
+	}{
+		{"clear win", 100, 10, 5, true},
+		{"exact tie keeps", 15, 10, 5, false},
+		{"neighbour worse", 10, 100, 5, false},
+		{"own inf forwards", inf, 10, 5, true},
+		{"neighbour inf refuses", 100, inf, 5, false},
+		{"link inf refuses", 100, 10, inf, false},
+		{"both inf refuses", inf, inf, 5, false},
+		{"nan rhs refuses", 100, inf, -inf, false},
+	}
+	for _, tt := range tests {
+		if got := ShouldForwardGreedy(tt.own, tt.neighbour, tt.link); got != tt.want {
+			t.Errorf("%s: ShouldForwardGreedy(%v,%v,%v) = %v", tt.name, tt.own, tt.neighbour, tt.link, got)
+		}
+	}
+}
+
+// Property: capacity is monotone non-decreasing in RSSI and bounded by
+// [0, CMax].
+func TestQuickCapacityMonotoneBounded(t *testing.T) {
+	m := DefaultLinkModel(0.5)
+	f := func(a, b int16) bool {
+		ra, rb := float64(a)/100, float64(b)/100
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		ca, cb := m.Capacity(ra), m.Capacity(rb)
+		return ca <= cb+1e-12 && ca >= 0 && cb <= m.CMaxPPS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: forwarding never happens toward a strictly worse total cost.
+func TestQuickGreedyNeverWorsens(t *testing.T) {
+	f := func(own, neighbour, link float64) bool {
+		own, neighbour, link = math.Abs(own), math.Abs(neighbour), math.Abs(link)
+		if ShouldForwardGreedy(own, neighbour, link) {
+			return neighbour+link < own
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustEstimator(t *testing.T, cfg GatewayConfig) *GatewayEstimator {
+	t.Helper()
+	e, err := NewGatewayEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGatewayConfigValidate(t *testing.T) {
+	if err := DefaultGatewayConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	muts := []struct {
+		name string
+		mut  func(*GatewayConfig)
+	}{
+		{"alpha 0", func(c *GatewayConfig) { c.Alpha = 0 }},
+		{"alpha > 1", func(c *GatewayConfig) { c.Alpha = 1.5 }},
+		{"delta 0", func(c *GatewayConfig) { c.Delta = 0 }},
+		{"cap 0", func(c *GatewayConfig) { c.DefaultCapacity = 0 }},
+		{"phiMin 0", func(c *GatewayConfig) { c.PhiMin = 0 }},
+		{"phiMax < phiMin", func(c *GatewayConfig) { c.PhiMax = c.PhiMin / 2 }},
+		{"phiMax inf", func(c *GatewayConfig) { c.PhiMax = math.Inf(1) }},
+	}
+	for _, tt := range muts {
+		cfg := DefaultGatewayConfig()
+		tt.mut(&cfg)
+		if _, err := NewGatewayEstimator(cfg); err == nil {
+			t.Errorf("%s: accepted", tt.name)
+		}
+	}
+}
+
+func TestRCAETXBeforeObservation(t *testing.T) {
+	e := mustEstimator(t, DefaultGatewayConfig())
+	if !math.IsInf(e.RCAETX(), 1) {
+		t.Fatalf("fresh estimator RCAETX = %v, want +Inf", e.RCAETX())
+	}
+	// φ collapses to the stability floor.
+	if got := e.Phi(); got != e.Config().PhiMin {
+		t.Fatalf("fresh φ = %v, want PhiMin", got)
+	}
+}
+
+func TestConnectedRPST(t *testing.T) {
+	e := mustEstimator(t, DefaultGatewayConfig())
+	// First observation seeds the EWMA directly (Eq. 4, t = 0 branch).
+	e.Observe(0, true, 0.1, 2*time.Second)
+	want := 1/0.1 + 2.0
+	if got := e.RCAETX(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RCAETX = %v, want %v", got, want)
+	}
+}
+
+func TestEWMAUpdate(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.Alpha = 0.5
+	e := mustEstimator(t, cfg)
+	e.Observe(0, true, 0.1, 0) // seeds at 10 s
+	e.Observe(cfg.Delta, true, 0.05, 0)
+	// Eq. 4: 0.5*10 + 0.5*20 = 15.
+	if got := e.RCAETX(); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("EWMA = %v, want 15", got)
+	}
+}
+
+func TestAlphaControlsAdaptation(t *testing.T) {
+	// Higher α adapts faster: after the same jump in RPST, the high-α
+	// estimator must be closer to the new value (Sec. IV-B discussion).
+	mk := func(alpha float64) *GatewayEstimator {
+		cfg := DefaultGatewayConfig()
+		cfg.Alpha = alpha
+		return mustEstimator(t, cfg)
+	}
+	slow, fast := mk(0.1), mk(0.9)
+	for _, e := range []*GatewayEstimator{slow, fast} {
+		e.Observe(0, true, 1, 0) // 1 s
+		e.Observe(3*time.Minute, true, 0.01, 0)
+	}
+	target := 100.0
+	if math.Abs(fast.RCAETX()-target) >= math.Abs(slow.RCAETX()-target) {
+		t.Fatalf("α=0.9 (%v) no closer to %v than α=0.1 (%v)", fast.RCAETX(), target, slow.RCAETX())
+	}
+}
+
+func TestDisconnectedRPSTGrowsWithTime(t *testing.T) {
+	// Eq. 3 disconnected branch: estimated delay t − ẗn grows while out
+	// of contact, so RCA-ETX must increase monotonically.
+	cfg := DefaultGatewayConfig()
+	e := mustEstimator(t, cfg)
+	e.Observe(0, true, 0.1, 0)
+	prev := e.RCAETX()
+	for i := 1; i <= 10; i++ {
+		now := time.Duration(i) * cfg.Delta
+		e.Observe(now, false, 0, 0)
+		cur := e.RCAETX()
+		if cur <= prev {
+			t.Fatalf("slot %d: RCAETX %v did not grow from %v while disconnected", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestReconnectionRecovers(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	e := mustEstimator(t, cfg)
+	e.Observe(0, true, 0.1, 0)
+	for i := 1; i <= 5; i++ {
+		e.Observe(time.Duration(i)*cfg.Delta, false, 0, 0)
+	}
+	peak := e.RCAETX()
+	for i := 6; i <= 12; i++ {
+		e.Observe(time.Duration(i)*cfg.Delta, true, 0.1, 0)
+	}
+	if got := e.RCAETX(); got >= peak {
+		t.Fatalf("RCAETX %v did not recover below disconnected peak %v", got, peak)
+	}
+}
+
+func TestNeverContactedPessimism(t *testing.T) {
+	// A device with sink history must look better than one that has
+	// never seen a sink, once enough time has passed.
+	cfg := DefaultGatewayConfig()
+	contacted := mustEstimator(t, cfg)
+	orphan := mustEstimator(t, cfg)
+	contacted.Observe(0, true, 0.1, 0)
+	for i := 1; i <= 20; i++ {
+		now := time.Duration(i) * cfg.Delta
+		contacted.Observe(now, true, 0.1, 0)
+		orphan.Observe(now, false, 0, 0)
+	}
+	if contacted.RCAETX() >= orphan.RCAETX() {
+		t.Fatalf("contacted %v not better than orphan %v", contacted.RCAETX(), orphan.RCAETX())
+	}
+}
+
+func TestZeroCapacityContactUsesDefault(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	e := mustEstimator(t, cfg)
+	e.Observe(0, true, 0, 0) // unmeasured capacity
+	want := 1 / cfg.DefaultCapacity
+	if got := e.RCAETX(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RCAETX = %v, want default-capacity PST %v", got, want)
+	}
+}
+
+func TestNegativeTDeltaClamped(t *testing.T) {
+	e := mustEstimator(t, DefaultGatewayConfig())
+	e.Observe(0, true, 0.1, -time.Hour)
+	if got := e.RCAETX(); got != 10 {
+		t.Fatalf("RCAETX with negative t∆ = %v, want 10", got)
+	}
+}
+
+func TestPhiClampsAndInversion(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.PhiMin = 0.001
+	cfg.PhiMax = 0.5
+	e := mustEstimator(t, cfg)
+	// Excellent contact: 1/RCAETX would exceed PhiMax.
+	e.Observe(0, true, 100, 0) // RPST = 0.01 s → φ raw = 100
+	if got := e.Phi(); got != 0.5 {
+		t.Fatalf("φ = %v, want clamped 0.5", got)
+	}
+	// Terrible contact: long disconnection pushes φ below PhiMin.
+	for i := 1; i < 600; i++ {
+		e.Observe(time.Duration(i)*cfg.Delta, false, 0, 0)
+	}
+	if got := e.Phi(); got != 0.001 {
+		t.Fatalf("φ = %v, want clamped 0.001", got)
+	}
+}
+
+func TestClampPhi(t *testing.T) {
+	tests := []struct {
+		phi  float64
+		want float64
+	}{
+		{0.5, 0.5},
+		{2, 1},
+		{1e-9, 1e-4},
+		{math.Inf(1), 1},
+		{math.NaN(), 1e-4},
+		{-1, 1e-4},
+	}
+	for _, tt := range tests {
+		if got := ClampPhi(tt.phi, 1e-4, 1); got != tt.want {
+			t.Errorf("ClampPhi(%v) = %v, want %v", tt.phi, got, tt.want)
+		}
+	}
+}
+
+func TestObservationsCounter(t *testing.T) {
+	e := mustEstimator(t, DefaultGatewayConfig())
+	for i := 0; i < 5; i++ {
+		e.Observe(time.Duration(i)*time.Minute, i%2 == 0, 0.1, 0)
+	}
+	if e.Observations() != 5 {
+		t.Fatalf("Observations = %d", e.Observations())
+	}
+}
+
+// Property: RCA-ETX is always positive and finite after the first
+// observation, and φ always respects its clamps.
+func TestQuickEstimatorInvariants(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	f := func(steps []bool, caps []uint8) bool {
+		e, err := NewGatewayEstimator(cfg)
+		if err != nil {
+			return false
+		}
+		now := time.Duration(0)
+		for i, connected := range steps {
+			capPPS := 0.0
+			if len(caps) > 0 {
+				capPPS = float64(caps[i%len(caps)]) / 100
+			}
+			e.Observe(now, connected, capPPS, time.Second)
+			now += cfg.Delta
+			v := e.RCAETX()
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+			phi := e.Phi()
+			if phi < cfg.PhiMin || phi > cfg.PhiMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the estimator implements Eqs. (3)–(4) exactly — for any contact
+// pattern, each update equals (1−α)·previous + α·RPST with the RPST computed
+// from the branch the pattern selects. This pins the implementation to the
+// paper's maths rather than a plausible variant.
+func TestQuickEWMAExactSemantics(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	const capPPS = 0.1
+	f := func(pattern []bool) bool {
+		e, err := NewGatewayEstimator(cfg)
+		if err != nil {
+			return false
+		}
+		now := time.Duration(0)
+		var (
+			est           float64
+			haveEst       bool
+			lastContact   time.Duration
+			everContacted bool
+		)
+		for _, connected := range pattern {
+			e.Observe(now, connected, capPPS, 0)
+			var rpst float64
+			switch {
+			case connected:
+				rpst = 1 / capPPS
+				lastContact = now
+				everContacted = true
+			case everContacted:
+				rpst = 1/capPPS + (now - lastContact).Seconds()
+			default:
+				rpst = 1/cfg.DefaultCapacity + now.Seconds()
+			}
+			if !haveEst {
+				est = rpst
+				haveEst = true
+			} else {
+				est = (1-cfg.Alpha)*est + cfg.Alpha*rpst
+			}
+			if math.Abs(e.RCAETX()-est) > 1e-6*math.Max(1, est) {
+				return false
+			}
+			now += cfg.Delta
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	e, err := NewGatewayEstimator(DefaultGatewayConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		e.Observe(time.Duration(i)*time.Second, i%3 != 0, 0.1, time.Second)
+	}
+}

@@ -1,0 +1,259 @@
+// Package eventsim implements the discrete-event simulation kernel that
+// replaces OMNeT++ in this reproduction.
+//
+// The kernel maintains virtual time as a time.Duration offset from the start
+// of the simulation, an event priority queue ordered by (time, sequence), and
+// deterministic FIFO tie-breaking for events scheduled at the same instant.
+// All higher layers (radio medium, LoRaWAN MAC, routing schemes, experiment
+// harness) run on top of a single Simulator and therefore share one totally
+// ordered virtual timeline, which keeps full experiment runs bit-for-bit
+// reproducible for a given seed.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the simulation was halted by
+// Stop before reaching its scheduled horizon.
+var ErrStopped = errors.New("eventsim: simulation stopped")
+
+// Event is a callback scheduled to execute at a virtual time instant.
+type Event func(now time.Duration)
+
+// Handle identifies a scheduled event so it can be cancelled. The zero Handle
+// is invalid.
+type Handle struct {
+	seq uint64
+}
+
+// Valid reports whether h refers to a scheduled (possibly executed) event.
+func (h Handle) Valid() bool { return h.seq != 0 }
+
+type item struct {
+	at       time.Duration
+	seq      uint64
+	fn       Event
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	it, ok := x.(*item)
+	if !ok {
+		return
+	}
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Simulator is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; simulations that need parallelism should run multiple
+// independent Simulators.
+type Simulator struct {
+	now      time.Duration
+	queue    eventHeap
+	nextSeq  uint64
+	byHandle map[uint64]*item
+	stopped  bool
+	executed uint64
+}
+
+// New returns an empty simulator positioned at virtual time zero.
+func New() *Simulator {
+	return &Simulator{byHandle: make(map[uint64]*item)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Pending returns the number of events still queued (excluding cancelled
+// events not yet garbage-collected from the heap).
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, it := range s.queue {
+		if !it.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns how many events have run so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// returns an error: the kernel never rewinds the clock.
+func (s *Simulator) At(at time.Duration, fn Event) (Handle, error) {
+	if fn == nil {
+		return Handle{}, errors.New("eventsim: nil event")
+	}
+	if at < s.now {
+		return Handle{}, fmt.Errorf("eventsim: schedule at %v before now %v", at, s.now)
+	}
+	s.nextSeq++
+	it := &item{at: at, seq: s.nextSeq, fn: fn}
+	heap.Push(&s.queue, it)
+	s.byHandle[it.seq] = it
+	return Handle{seq: it.seq}, nil
+}
+
+// After schedules fn to run after delay d from the current virtual time.
+// Negative delays are clamped to zero (run "immediately", after currently
+// queued same-time events).
+func (s *Simulator) After(d time.Duration, fn Event) (Handle, error) {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false when already executed, cancelled, or invalid).
+func (s *Simulator) Cancel(h Handle) bool {
+	it, ok := s.byHandle[h.seq]
+	if !ok || it.canceled {
+		return false
+	}
+	it.canceled = true
+	delete(s.byHandle, h.seq)
+	return true
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step executes the next pending event. It reports false when the queue is
+// exhausted.
+func (s *Simulator) step() bool {
+	for len(s.queue) > 0 {
+		top, ok := heap.Pop(&s.queue).(*item)
+		if !ok {
+			return false
+		}
+		if top.canceled {
+			continue
+		}
+		delete(s.byHandle, top.seq)
+		s.now = top.at
+		s.executed++
+		top.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue empties or Stop is called. It returns
+// ErrStopped in the latter case.
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with scheduled time <= horizon, then advances the
+// clock to horizon. Events scheduled beyond the horizon stay queued. It
+// returns ErrStopped when halted early by Stop.
+func (s *Simulator) RunUntil(horizon time.Duration) error {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > horizon {
+			break
+		}
+		s.step()
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+func (s *Simulator) peek() *item {
+	for len(s.queue) > 0 {
+		top := s.queue[0]
+		if !top.canceled {
+			return top
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// Ticker invokes fn every interval starting at start until the simulation
+// ends or the returned cancel function is called. The callback may reschedule
+// freely; ticks are anchored to the original phase (start + k*interval), so
+// long-running callbacks do not drift the schedule.
+func (s *Simulator) Ticker(start, interval time.Duration, fn Event) (cancel func(), err error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("eventsim: ticker interval %v must be positive", interval)
+	}
+	if start < s.now {
+		return nil, fmt.Errorf("eventsim: ticker start %v before now %v", start, s.now)
+	}
+	stopped := false
+	var schedule func(at time.Duration)
+	var handle Handle
+	schedule = func(at time.Duration) {
+		h, err := s.At(at, func(now time.Duration) {
+			if stopped {
+				return
+			}
+			fn(now)
+			if !stopped {
+				schedule(at + interval)
+			}
+		})
+		if err == nil {
+			handle = h
+		}
+	}
+	schedule(start)
+	return func() {
+		stopped = true
+		s.Cancel(handle)
+	}, nil
+}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mlorass/internal/radio"
+	"mlorass/internal/stats"
+)
+
+// Result carries every measurement the paper's figures are built from.
+type Result struct {
+	// Config echoes the run configuration (with defaults filled in).
+	Config Config
+
+	// Generated counts application messages created by all devices.
+	Generated uint64
+	// Delivered counts distinct messages that reached the server: the
+	// total-throughput quantity of Fig. 9.
+	Delivered int
+	// Duplicates counts redundant copies the server discarded.
+	Duplicates uint64
+	// QueueDrops counts messages discarded by full device queues.
+	QueueDrops uint64
+
+	// Delay summarises end-to-end delays of delivered messages in
+	// seconds (Fig. 8).
+	Delay stats.Summary
+	// Hops summarises wireless hop counts of delivered messages
+	// (Fig. 12; direct uplinks count 1).
+	Hops stats.Summary
+	// MsgSendsPerNode summarises, per ever-active device, the number of
+	// message copies transmitted — the paper's Fig. 13 energy-overhead
+	// proxy.
+	MsgSendsPerNode stats.Summary
+	// FramesPerNode summarises transmitted frames per ever-active device.
+	FramesPerNode stats.Summary
+	// RadioOnPerNode summarises per-device radio-on time in seconds
+	// (transmit + listen), the Queue-based Class-A ablation quantity.
+	RadioOnPerNode stats.Summary
+
+	// Throughput is the arrivals time series in ThroughputBin buckets
+	// (Figs. 10–11).
+	Throughput *stats.TimeSeries
+
+	// Medium carries channel-level counters (collisions etc.).
+	Medium radio.MediumStats
+
+	// ActiveDevices counts devices that operated during the horizon.
+	ActiveDevices int
+
+	// HandoverAttempts and HandoverSuccesses count device-to-device
+	// transfer transmissions; HandoverMsgs counts messages moved.
+	HandoverAttempts  uint64
+	HandoverSuccesses uint64
+	HandoverMsgs      uint64
+	// HandoverLostMsgs counts messages lost in handover frames the
+	// target missed (there is no d2d ACK, so the sender cannot recover
+	// them).
+	HandoverLostMsgs uint64
+
+	// DirectDelay and RelayedDelay split the delivered-message delays by
+	// whether the message ever hopped device-to-device.
+	DirectDelay  stats.Summary
+	RelayedDelay stats.Summary
+
+	// rawDelays holds every delivered message's delay in seconds, for
+	// percentile analysis (internal diagnostics and sweeps).
+	rawDelays []float64
+	// originDelivered holds the origin device of every delivery, in
+	// arrival order (internal diagnostics).
+	originDelivered []int
+}
+
+// DelayPercentile returns the p-th percentile of delivered-message delays in
+// seconds.
+func (r *Result) DelayPercentile(p float64) float64 {
+	return stats.Percentile(r.rawDelays, p)
+}
+
+// MatchedDelayMean returns the mean delay in seconds over the k fastest
+// deliveries. Comparing schemes at the same k (the smallest delivery count
+// among them) removes the survivorship bias that inflates a forwarding
+// scheme's plain mean: rescuing messages the baseline never delivers adds
+// slow samples that the baseline's mean simply omits.
+func (r *Result) MatchedDelayMean(k int) float64 {
+	if k <= 0 || len(r.rawDelays) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(r.rawDelays))
+	copy(sorted, r.rawDelays)
+	sort.Float64s(sorted)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	sum := 0.0
+	for _, v := range sorted[:k] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// collect gathers a Result after the event loop finishes.
+func (s *sim) collect() *Result {
+	r := &Result{
+		Config:     s.cfg,
+		Generated:  s.generated,
+		Delivered:  s.server.Count(),
+		Duplicates: s.server.Duplicates(),
+		Throughput: s.throughput,
+		Medium:     s.medium.Stats(),
+	}
+	r.HandoverAttempts = s.handoverAttempts
+	r.HandoverSuccesses = s.handoverSuccesses
+	r.HandoverMsgs = s.handoverMsgs
+	r.HandoverLostMsgs = s.handoverLostMsgs
+	for _, del := range s.server.Deliveries() {
+		r.Delay.AddDuration(del.Delay())
+		r.rawDelays = append(r.rawDelays, del.Delay().Seconds())
+		r.originDelivered = append(r.originDelivered, del.Origin)
+		r.Hops.Add(float64(del.Hops))
+		if del.Hops > 1 {
+			r.RelayedDelay.AddDuration(del.Delay())
+		} else {
+			r.DirectDelay.AddDuration(del.Delay())
+		}
+	}
+	for _, d := range s.devices {
+		r.QueueDrops += d.queue.Dropped()
+		if !d.everActive {
+			continue
+		}
+		r.ActiveDevices++
+		r.MsgSendsPerNode.Add(float64(d.msgSends))
+		r.FramesPerNode.Add(float64(d.framesSent))
+		r.RadioOnPerNode.AddDuration(d.energy.RadioOnTime())
+	}
+	return r
+}
+
+// DeliveryRatio returns Delivered/Generated (0 when nothing was generated).
+func (r *Result) DeliveryRatio() float64 {
+	if r.Generated == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Generated)
+}
+
+// MeanDelay returns the mean end-to-end delay.
+func (r *Result) MeanDelay() time.Duration {
+	return time.Duration(r.Delay.Mean() * float64(time.Second))
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s gw=%d: delivered %d/%d (%.1f%%), delay %s ±%.0fs, hops %.2f, sends/node %.1f",
+		r.Config.Scheme, r.Config.Environment, r.Config.NumGateways,
+		r.Delivered, r.Generated, 100*r.DeliveryRatio(),
+		r.MeanDelay().Round(time.Second), r.Delay.StdErr(),
+		r.Hops.Mean(), r.MsgSendsPerNode.Mean())
+}
+
+// Report renders a multi-line human-readable report.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheme=%s env=%s gateways=%d class=%s seed=%d\n",
+		r.Config.Scheme, r.Config.Environment, r.Config.NumGateways, r.Config.Class, r.Config.Seed)
+	fmt.Fprintf(&b, "  devices active          %d\n", r.ActiveDevices)
+	fmt.Fprintf(&b, "  messages generated      %d\n", r.Generated)
+	fmt.Fprintf(&b, "  messages delivered      %d (%.1f%%)\n", r.Delivered, 100*r.DeliveryRatio())
+	fmt.Fprintf(&b, "  duplicates discarded    %d\n", r.Duplicates)
+	fmt.Fprintf(&b, "  queue drops             %d\n", r.QueueDrops)
+	fmt.Fprintf(&b, "  mean end-to-end delay   %s (stderr %.1fs)\n", r.MeanDelay().Round(time.Second), r.Delay.StdErr())
+	fmt.Fprintf(&b, "  mean hops               %.2f (max %.0f)\n", r.Hops.Mean(), r.Hops.Max())
+	fmt.Fprintf(&b, "  msg sends per node      %.1f\n", r.MsgSendsPerNode.Mean())
+	fmt.Fprintf(&b, "  frames per node         %.1f\n", r.FramesPerNode.Mean())
+	fmt.Fprintf(&b, "  radio-on per node       %s\n", time.Duration(r.RadioOnPerNode.Mean()*float64(time.Second)).Round(time.Second))
+	fmt.Fprintf(&b, "  channel: tx=%d rx=%d collisions=%d\n", r.Medium.Transmissions, r.Medium.Receptions, r.Medium.Collisions)
+	fmt.Fprintf(&b, "  handovers: %d/%d ok, %d msgs moved, %d msgs lost\n", r.HandoverSuccesses, r.HandoverAttempts, r.HandoverMsgs, r.HandoverLostMsgs)
+	fmt.Fprintf(&b, "  delay direct %.0fs (n=%d) vs relayed %.0fs (n=%d)\n",
+		r.DirectDelay.Mean(), r.DirectDelay.N(), r.RelayedDelay.Mean(), r.RelayedDelay.N())
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"mlorass/internal/routing"
+)
+
+// TestMatchedCoverageDiagnostic is a longer diagnostic comparing schemes at
+// matched delivery coverage; skipped in -short runs.
+func TestMatchedCoverageDiagnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic: run without -short")
+	}
+	results := map[routing.Scheme]*Result{}
+	for _, sch := range []routing.Scheme{routing.SchemeNoRouting, routing.SchemeROBC} {
+		cfg := DefaultConfig()
+		cfg.Duration = 12 * time.Hour
+		cfg.NumGateways = 4
+		cfg.Environment = Rural
+		cfg.Scheme = sch
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[sch] = r
+	}
+	k := results[routing.SchemeNoRouting].Delivered
+	if results[routing.SchemeROBC].Delivered < k {
+		k = results[routing.SchemeROBC].Delivered
+	}
+	for sch, r := range results {
+		t.Logf("%-10s deliv=%d mean=%.0fs matched(k=%d)=%.0fs",
+			sch, r.Delivered, r.Delay.Mean(), k, r.MatchedDelayMean(k))
+	}
+}

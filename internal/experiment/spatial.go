@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"sort"
+	"time"
+
+	"mlorass/internal/geo"
+)
+
+// devIndex is a uniform-grid spatial index over active device positions.
+//
+// Device positions change continuously, so the index is rebuilt lazily every
+// rebuildEvery of virtual time and queries widen their radius by the maximum
+// distance a bus can travel in that window. Queries therefore over-approximate
+// the candidate set; callers verify exact distances against live positions.
+// This turns the per-transmission neighbourhood scan from O(active devices)
+// into O(nearby devices), which is what makes paper-scale fleet densities
+// affordable.
+type devIndex struct {
+	cellM        float64
+	rebuildEvery time.Duration
+	maxSpeedMPS  float64
+
+	builtAt time.Duration
+	valid   bool
+	byCell  map[[2]int][]int
+
+	scratch []int
+}
+
+// newDevIndex sizes the grid by the largest query radius.
+func newDevIndex(cellM float64, rebuildEvery time.Duration, maxSpeedMPS float64) *devIndex {
+	if cellM <= 0 {
+		cellM = 1000
+	}
+	return &devIndex{
+		cellM:        cellM,
+		rebuildEvery: rebuildEvery,
+		maxSpeedMPS:  maxSpeedMPS,
+		byCell:       make(map[[2]int][]int),
+	}
+}
+
+func (ix *devIndex) cellOf(p geo.Point) [2]int {
+	return [2]int{int(p.X / ix.cellM), int(p.Y / ix.cellM)}
+}
+
+// refresh rebuilds the index when stale. positions must yield the live
+// position of each listed device (ok=false entries are skipped).
+func (ix *devIndex) refresh(now time.Duration, ids []int, pos func(id int) (geo.Point, bool)) {
+	if ix.valid && now-ix.builtAt < ix.rebuildEvery {
+		return
+	}
+	clear(ix.byCell)
+	for _, id := range ids {
+		p, ok := pos(id)
+		if !ok {
+			continue
+		}
+		c := ix.cellOf(p)
+		ix.byCell[c] = append(ix.byCell[c], id)
+	}
+	ix.builtAt = now
+	ix.valid = true
+}
+
+// candidates returns device ids possibly within radius of p at query time,
+// sorted ascending for deterministic iteration. The result slice is reused
+// across calls; callers must not retain it.
+func (ix *devIndex) candidates(now time.Duration, p geo.Point, radius float64) []int {
+	slack := ix.maxSpeedMPS * (now - ix.builtAt).Seconds()
+	r := radius + slack
+	lo := ix.cellOf(geo.Point{X: p.X - r, Y: p.Y - r})
+	hi := ix.cellOf(geo.Point{X: p.X + r, Y: p.Y + r})
+	ix.scratch = ix.scratch[:0]
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			ix.scratch = append(ix.scratch, ix.byCell[[2]int{cx, cy}]...)
+		}
+	}
+	sort.Ints(ix.scratch)
+	return ix.scratch
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlorass/internal/geo"
+)
+
+// gridWorld gives every device a fixed position for index tests.
+type gridWorld map[int]geo.Point
+
+func (w gridWorld) pos(id int) (geo.Point, bool) {
+	p, ok := w[id]
+	return p, ok
+}
+
+func TestDevIndexFindsNeighbours(t *testing.T) {
+	ix := newDevIndex(1000, 30*time.Second, 11)
+	world := gridWorld{
+		1: {X: 100, Y: 100},
+		2: {X: 500, Y: 100},
+		3: {X: 5000, Y: 5000},
+	}
+	ix.refresh(0, []int{1, 2, 3}, world.pos)
+	got := ix.candidates(0, geo.Point{X: 0, Y: 0}, 800)
+	if !containsInt(got, 1) || !containsInt(got, 2) {
+		t.Fatalf("candidates %v missing nearby devices", got)
+	}
+	if containsInt(got, 3) {
+		t.Fatalf("candidates %v include the far device", got)
+	}
+}
+
+func TestDevIndexCandidatesSorted(t *testing.T) {
+	ix := newDevIndex(500, time.Minute, 11)
+	world := gridWorld{}
+	ids := make([]int, 0, 20)
+	for i := 19; i >= 0; i-- {
+		world[i] = geo.Point{X: float64(i * 37 % 900), Y: float64(i * 53 % 900)}
+		ids = append(ids, i)
+	}
+	ix.refresh(0, ids, world.pos)
+	got := ix.candidates(0, geo.Point{X: 450, Y: 450}, 2000)
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("candidates not sorted: %v", got)
+		}
+	}
+}
+
+func TestDevIndexSkipsInactive(t *testing.T) {
+	ix := newDevIndex(1000, time.Minute, 11)
+	world := gridWorld{1: {X: 10, Y: 10}}
+	// Device 2 reports no position (inactive) and must not be indexed.
+	pos := func(id int) (geo.Point, bool) {
+		if id == 2 {
+			return geo.Point{}, false
+		}
+		return world.pos(id)
+	}
+	ix.refresh(0, []int{1, 2}, pos)
+	got := ix.candidates(0, geo.Point{X: 0, Y: 0}, 100)
+	if containsInt(got, 2) {
+		t.Fatalf("inactive device indexed: %v", got)
+	}
+}
+
+func TestDevIndexStaleness(t *testing.T) {
+	ix := newDevIndex(1000, 30*time.Second, 11)
+	world := gridWorld{1: {X: 100, Y: 100}}
+	ix.refresh(0, []int{1}, world.pos)
+	// Within the rebuild window the index is not rebuilt even if the
+	// world changes...
+	world[2] = geo.Point{X: 200, Y: 200}
+	ix.refresh(10*time.Second, []int{1, 2}, world.pos)
+	if got := ix.candidates(10*time.Second, geo.Point{X: 150, Y: 150}, 500); containsInt(got, 2) {
+		t.Fatalf("index rebuilt too early: %v", got)
+	}
+	// ...after the window it is.
+	ix.refresh(40*time.Second, []int{1, 2}, world.pos)
+	if got := ix.candidates(40*time.Second, geo.Point{X: 150, Y: 150}, 500); !containsInt(got, 2) {
+		t.Fatalf("index not rebuilt after staleness window: %v", got)
+	}
+}
+
+func TestDevIndexSlackCoversMovement(t *testing.T) {
+	// A device indexed at its build-time position must still be found
+	// after moving at max speed for the full staleness window.
+	ix := newDevIndex(500, 30*time.Second, 11)
+	start := geo.Point{X: 1000, Y: 1000}
+	world := gridWorld{1: start}
+	ix.refresh(0, []int{1}, world.pos)
+	// 29 s later the device has moved 11 m/s × 29 s ≈ 319 m away; a
+	// query centred on its NEW position with radius 100 must still list
+	// it because of the slack widening.
+	moved := geo.Point{X: start.X + 319, Y: start.Y}
+	got := ix.candidates(29*time.Second, moved, 100)
+	if !containsInt(got, 1) {
+		t.Fatalf("moving device escaped the index slack: %v", got)
+	}
+}
+
+func TestDevIndexDefaultCell(t *testing.T) {
+	ix := newDevIndex(0, time.Minute, 11) // 0 falls back to 1 km cells
+	if ix.cellM != 1000 {
+		t.Fatalf("default cell = %v", ix.cellM)
+	}
+}
+
+// Property: the index over-approximates — every device truly within the
+// query radius at build time appears among the candidates.
+func TestQuickDevIndexComplete(t *testing.T) {
+	f := func(coords []uint16, qx, qy uint16, radRaw uint8) bool {
+		ix := newDevIndex(700, time.Minute, 11)
+		world := gridWorld{}
+		ids := make([]int, 0, len(coords)/2)
+		for i := 0; i+1 < len(coords); i += 2 {
+			id := i / 2
+			world[id] = geo.Point{X: float64(coords[i] % 10000), Y: float64(coords[i+1] % 10000)}
+			ids = append(ids, id)
+		}
+		ix.refresh(0, ids, world.pos)
+		q := geo.Point{X: float64(qx % 10000), Y: float64(qy % 10000)}
+		radius := float64(radRaw)*10 + 1
+		got := ix.candidates(0, q, radius)
+		for id, p := range world {
+			if p.Dist(q) <= radius && !containsInt(got, id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+// Package gwplan places LoRaWAN gateways in the simulation area.
+//
+// The paper's main evaluation deploys gateways on a uniform grid "instead of
+// a randomly deployed topology" so performance gains are attributable to the
+// forwarding protocols rather than placement luck (Sec. VII-A6); random
+// placement is kept for the paper's "further observations" ablation.
+package gwplan
+
+import (
+	"fmt"
+
+	"mlorass/internal/geo"
+	"mlorass/internal/rng"
+)
+
+// Strategy selects a placement algorithm.
+type Strategy int
+
+// Placement strategies.
+const (
+	// Grid places gateways on a uniform cell-centred grid (the paper's
+	// main setup).
+	Grid Strategy = iota + 1
+	// Random places gateways uniformly at random (the paper's ablation).
+	Random
+	// RouteAware places gateways greedily to maximise route coverage
+	// (the paper's future-work direction; see PlaceRouteAware). It needs
+	// the mobility dataset, so Place rejects it — the experiment layer
+	// dispatches to PlaceRouteAware directly.
+	RouteAware
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Grid:
+		return "grid"
+	case Random:
+		return "random"
+	case RouteAware:
+		return "route-aware"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a known strategy.
+func (s Strategy) Valid() bool { return s == Grid || s == Random || s == RouteAware }
+
+// Place returns n gateway positions inside area using the given strategy.
+// The seed matters only for Random placement. It returns an error for
+// invalid inputs so experiment configs fail loudly.
+func Place(strategy Strategy, area geo.Rect, n int, seed uint64) ([]geo.Point, error) {
+	if !strategy.Valid() {
+		return nil, fmt.Errorf("gwplan: unknown strategy %d", int(strategy))
+	}
+	if strategy == RouteAware {
+		return nil, fmt.Errorf("gwplan: route-aware placement needs a dataset; use PlaceRouteAware")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("gwplan: gateway count %d must be positive", n)
+	}
+	if area.Area() <= 0 {
+		return nil, fmt.Errorf("gwplan: empty area")
+	}
+	switch strategy {
+	case Grid:
+		return geo.GridPoints(area, n), nil
+	default:
+		r := rng.New(seed)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{
+				X: area.Min.X + r.Float64()*area.Width(),
+				Y: area.Min.Y + r.Float64()*area.Height(),
+			}
+		}
+		return pts, nil
+	}
+}

@@ -1,0 +1,95 @@
+package gwplan
+
+import (
+	"testing"
+
+	"mlorass/internal/geo"
+)
+
+func TestPlaceGrid(t *testing.T) {
+	area := geo.Square(24500)
+	for _, n := range []int{40, 50, 60, 70, 80, 90, 100} {
+		pts, err := Place(Grid, area, n, 0)
+		if err != nil {
+			t.Fatalf("Place(Grid, %d): %v", n, err)
+		}
+		if len(pts) != n {
+			t.Fatalf("Place(Grid, %d) returned %d points", n, len(pts))
+		}
+		for _, p := range pts {
+			if !area.Contains(p) {
+				t.Fatalf("grid point %v outside area", p)
+			}
+		}
+	}
+}
+
+func TestPlaceGridDeterministic(t *testing.T) {
+	area := geo.Square(1000)
+	a, err := Place(Grid, area, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(Grid, area, 50, 2) // seed must not matter for Grid
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grid placement depends on seed at %d", i)
+		}
+	}
+}
+
+func TestPlaceRandom(t *testing.T) {
+	area := geo.Square(1000)
+	a, err := Place(Random, area, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(Random, area, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Place(Random, area, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if !area.Contains(a[i]) {
+			t.Fatalf("random point %v outside area", a[i])
+		}
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different random placement")
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical random placement")
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	area := geo.Square(1000)
+	if _, err := Place(Strategy(0), area, 10, 0); err == nil {
+		t.Error("invalid strategy accepted")
+	}
+	if _, err := Place(Grid, area, 0, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Place(Grid, geo.Rect{}, 10, 0); err == nil {
+		t.Error("empty area accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Grid.String() != "grid" || Random.String() != "random" {
+		t.Fatal("strategy names wrong")
+	}
+	if Strategy(9).Valid() {
+		t.Fatal("bogus strategy valid")
+	}
+}

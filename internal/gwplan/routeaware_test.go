@@ -1,0 +1,139 @@
+package gwplan
+
+import (
+	"testing"
+	"time"
+
+	"mlorass/internal/geo"
+	"mlorass/internal/tfl"
+)
+
+func twoCorridorDataset() *tfl.Dataset {
+	return &tfl.Dataset{
+		Area: geo.Square(10000),
+		Routes: []tfl.Route{
+			{
+				ID: "A", SpeedMPS: 6,
+				Points: []geo.Point{{X: 1000, Y: 2000}, {X: 9000, Y: 2000}},
+			},
+			{
+				ID: "B", SpeedMPS: 6,
+				Points: []geo.Point{{X: 1000, Y: 8000}, {X: 9000, Y: 8000}},
+			},
+		},
+		Trips: []tfl.Trip{
+			{ID: 0, RouteID: "A", Start: 0, Duration: time.Hour},
+			{ID: 1, RouteID: "B", Start: 0, Duration: time.Hour},
+		},
+	}
+}
+
+func TestPlaceRouteAwareValidation(t *testing.T) {
+	ds := twoCorridorDataset()
+	if _, err := PlaceRouteAware(nil, 3, 1000); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := PlaceRouteAware(&tfl.Dataset{}, 3, 1000); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := PlaceRouteAware(ds, 0, 1000); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := PlaceRouteAware(ds, 3, 0); err == nil {
+		t.Error("zero range accepted")
+	}
+}
+
+func TestPlaceRouteAwareSitesNearRoutes(t *testing.T) {
+	ds := twoCorridorDataset()
+	sites, err := PlaceRouteAware(ds, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 4 {
+		t.Fatalf("placed %d sites, want 4", len(sites))
+	}
+	for _, s := range sites {
+		// Candidate sites are sampled on the corridors, which run at
+		// y = 2000 and y = 8000.
+		if s.Y != 2000 && s.Y != 8000 {
+			t.Fatalf("site %v not on a corridor", s)
+		}
+	}
+	// Both corridors deserve gateways: the greedy objective must not
+	// stack everything on one.
+	var onA, onB int
+	for _, s := range sites {
+		if s.Y == 2000 {
+			onA++
+		} else {
+			onB++
+		}
+	}
+	if onA == 0 || onB == 0 {
+		t.Fatalf("coverage unbalanced: %d on A, %d on B", onA, onB)
+	}
+}
+
+func TestRouteAwareBeatsGridOnCoverage(t *testing.T) {
+	ds := twoCorridorDataset()
+	const n, rangeM = 8, 1000
+
+	aware, err := PlaceRouteAware(ds, n, rangeM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := Place(Grid, ds.Area, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cAware, err := RouteCoverage(ds, aware, rangeM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cGrid, err := RouteCoverage(ds, grid, rangeM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cAware <= cGrid {
+		t.Fatalf("route-aware coverage %.2f not above grid %.2f", cAware, cGrid)
+	}
+	if cAware < 0.9 {
+		t.Fatalf("8 gateways at 1 km should blanket two 8 km corridors, got %.2f", cAware)
+	}
+}
+
+func TestPlaceRouteAwarePadsWhenSaturated(t *testing.T) {
+	// One short route saturates with a single gateway; the remaining
+	// sites must still be returned (grid padding).
+	ds := &tfl.Dataset{
+		Area: geo.Square(10000),
+		Routes: []tfl.Route{{
+			ID: "S", SpeedMPS: 6,
+			Points: []geo.Point{{X: 4900, Y: 5000}, {X: 5100, Y: 5000}},
+		}},
+		Trips: []tfl.Trip{{ID: 0, RouteID: "S", Start: 0, Duration: time.Hour}},
+	}
+	sites, err := PlaceRouteAware(ds, 5, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 5 {
+		t.Fatalf("placed %d sites, want 5 (with padding)", len(sites))
+	}
+}
+
+func TestRouteCoverageValidation(t *testing.T) {
+	if _, err := RouteCoverage(nil, nil, 1000); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	ds := twoCorridorDataset()
+	cov, err := RouteCoverage(ds, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 0 {
+		t.Fatalf("coverage with no gateways = %v", cov)
+	}
+}

@@ -1,0 +1,165 @@
+package lorawan
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DeviceClass enumerates the LoRaWAN device classes, including the two new
+// classes the paper proposes (Sec. VI).
+type DeviceClass int
+
+// Device classes. All classes remain Class-A compatible: Class A's two
+// post-uplink receive windows always exist.
+const (
+	// ClassA opens two receive windows after each uplink (baseline).
+	ClassA DeviceClass = iota + 1
+	// ClassB adds periodic, beacon-scheduled receive slots.
+	ClassB
+	// ClassC keeps the downlink receive window open whenever the device
+	// is not transmitting.
+	ClassC
+	// ClassModifiedC is the paper's first proposal: like Class C the
+	// radio always listens, but on the *uplink data channel* (Rx1), so
+	// the device overhears neighbouring devices' transmissions instead
+	// of gateway downlinks.
+	ClassModifiedC
+	// ClassQueueA is the paper's second proposal: a Class-A device whose
+	// receive-window length adapts to its queue backlog (Eq. 11), saving
+	// energy when the queue is short.
+	ClassQueueA
+)
+
+// String names the class.
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassA:
+		return "Class-A"
+	case ClassB:
+		return "Class-B"
+	case ClassC:
+		return "Class-C"
+	case ClassModifiedC:
+		return "Modified-Class-C"
+	case ClassQueueA:
+		return "Queue-based-Class-A"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a known class.
+func (c DeviceClass) Valid() bool { return c >= ClassA && c <= ClassQueueA }
+
+// CanOverhear reports whether a device of this class can receive
+// device-to-device broadcasts outside its Class-A windows. Modified Class-C
+// always can; Queue-based Class-A can during its adaptive windows (the
+// caller decides using QueueAListenFraction).
+func (c DeviceClass) CanOverhear() bool {
+	return c == ClassModifiedC || c == ClassQueueA
+}
+
+// QueueAListenFraction computes γx(t) from Eq. (11): the fraction of the
+// inter-uplink interval a Queue-based Class-A device keeps its receive
+// window open,
+//
+//	γx(t) = φmax · Qx(t) / (φx(t) · Qmax),  clamped to [0, 1].
+//
+// Longer queues and worse gateway quality (higher RCA-ETX ⇒ lower φ) demand
+// longer listening so forwarding opportunities are not missed. qmax <= 0 or
+// phi <= 0 yield a fully-open window (conservative fallback).
+func QueueAListenFraction(phi, phiMax float64, qlen, qmax int) float64 {
+	if qmax <= 0 || phi <= 0 || phiMax <= 0 {
+		return 1
+	}
+	if qlen < 0 {
+		qlen = 0
+	}
+	// Divide before multiplying so extreme φ values cannot overflow to
+	// Inf/Inf = NaN.
+	g := (phiMax / phi) * (float64(qlen) / float64(qmax))
+	if math.IsNaN(g) {
+		return 1
+	}
+	if g > 1 {
+		return 1
+	}
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// DutyGovernor enforces the EU868 transmission duty cycle (Sec. III-B,
+// VII-A5: 1 % on the shared data channel; after a transmission of airtime T
+// the radio stays silent for T/duty − T).
+type DutyGovernor struct {
+	duty     float64
+	nextFree time.Duration
+}
+
+// NewDutyGovernor builds a governor for the given duty fraction, e.g. 0.01.
+// Fractions outside (0, 1) disable the constraint.
+func NewDutyGovernor(duty float64) *DutyGovernor {
+	return &DutyGovernor{duty: duty}
+}
+
+// CanSend reports whether a transmission may start at now.
+func (g *DutyGovernor) CanSend(now time.Duration) bool { return now >= g.nextFree }
+
+// NextFree returns the earliest instant a transmission may start.
+func (g *DutyGovernor) NextFree() time.Duration { return g.nextFree }
+
+// Record registers a transmission starting at now with the given airtime and
+// advances the silent period.
+func (g *DutyGovernor) Record(now, airtime time.Duration) {
+	if g.duty <= 0 || g.duty >= 1 {
+		g.nextFree = now + airtime
+		return
+	}
+	total := time.Duration(float64(airtime) / g.duty)
+	g.nextFree = now + total
+}
+
+// RetryPolicy is the paper's retransmission rule (Sec. VII-A5): every frame
+// is attempted up to Max times, and the counter resets when a new frame is
+// generated.
+type RetryPolicy struct {
+	// Max is the maximum number of attempts per frame (the paper uses 8).
+	Max int
+}
+
+// DefaultRetryPolicy returns the paper's 8-attempt policy.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{Max: 8} }
+
+// Exhausted reports whether attempt (1-based count of attempts already made)
+// has reached the limit.
+func (p RetryPolicy) Exhausted(attempts int) bool {
+	return p.Max > 0 && attempts >= p.Max
+}
+
+// EnergyMeter accumulates the coarse energy proxies the paper reports:
+// frames transmitted (Fig. 13 counts messages sent as the energy overhead)
+// and radio-on durations for the Queue-based Class-A comparison.
+type EnergyMeter struct {
+	// TxFrames counts transmitted frames.
+	TxFrames uint64
+	// TxTime is cumulative transmit airtime.
+	TxTime time.Duration
+	// RxTime is cumulative receive/listen time.
+	RxTime time.Duration
+}
+
+// RecordTx adds one transmission.
+func (m *EnergyMeter) RecordTx(airtime time.Duration) {
+	m.TxFrames++
+	m.TxTime += airtime
+}
+
+// RecordRx adds listening time.
+func (m *EnergyMeter) RecordRx(d time.Duration) { m.RxTime += d }
+
+// RadioOnTime returns total radio-active time (transmit + listen): the
+// quantity the Queue-based Class-A ablation compares.
+func (m *EnergyMeter) RadioOnTime() time.Duration { return m.TxTime + m.RxTime }

@@ -1,0 +1,142 @@
+package lorawan
+
+import "fmt"
+
+// Queue is the device's FIFO data buffer (Sec. VII-A4). Messages wait here
+// until acknowledged by a gateway or handed over to a neighbour. The zero
+// value is not usable; construct with NewQueue.
+type Queue struct {
+	items   []Message
+	head    int // index of the front element within items
+	max     int
+	dropped uint64
+}
+
+// NewQueue builds a queue holding at most max messages. max <= 0 means
+// unbounded.
+func NewQueue(max int) *Queue {
+	return &Queue{max: max}
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return len(q.items) - q.head }
+
+// Max returns the configured capacity (0 = unbounded).
+func (q *Queue) Max() int { return q.max }
+
+// Dropped returns how many messages were discarded because the queue was
+// full — queue losses show up as throughput loss, as in the paper.
+func (q *Queue) Dropped() uint64 { return q.dropped }
+
+// Push appends a message to the tail. It reports false (and counts a drop)
+// when the queue is full.
+func (q *Queue) Push(m Message) bool {
+	if q.max > 0 && q.Len() >= q.max {
+		q.dropped++
+		return false
+	}
+	q.items = append(q.items, m)
+	return true
+}
+
+// PushFront returns messages to the head of the queue, preserving their
+// relative order — used to requeue an unacknowledged bundle so FIFO order
+// survives retransmission. Overflow drops from the back of the restored
+// block (newest first), counting drops.
+func (q *Queue) PushFront(ms []Message) {
+	if len(ms) == 0 {
+		return
+	}
+	keep := ms
+	if q.max > 0 {
+		room := q.max - q.Len()
+		if room < 0 {
+			room = 0
+		}
+		if len(keep) > room {
+			q.dropped += uint64(len(keep) - room)
+			keep = keep[:room]
+		}
+	}
+	merged := make([]Message, 0, len(keep)+q.Len())
+	merged = append(merged, keep...)
+	merged = append(merged, q.items[q.head:]...)
+	q.items = merged
+	q.head = 0
+}
+
+// PopN removes and returns up to n messages from the front.
+func (q *Queue) PopN(n int) []Message {
+	if n <= 0 || q.Len() == 0 {
+		return nil
+	}
+	if n > q.Len() {
+		n = q.Len()
+	}
+	out := make([]Message, n)
+	copy(out, q.items[q.head:q.head+n])
+	q.head += n
+	q.compact()
+	return out
+}
+
+// PopEligible removes and returns up to n messages from the front for which
+// eligible reports true, preserving the relative order of the messages left
+// behind. It is used by the forwarding schemes to skip messages that must
+// not travel to a particular neighbour (the no-send-back rule) while still
+// draining the rest of the FIFO.
+func (q *Queue) PopEligible(n int, eligible func(Message) bool) []Message {
+	if n <= 0 || q.Len() == 0 {
+		return nil
+	}
+	var out []Message
+	kept := q.items[q.head:q.head] // reuse storage, preserving order
+	for i := q.head; i < len(q.items); i++ {
+		m := q.items[i]
+		if len(out) < n && eligible(m) {
+			out = append(out, m)
+			continue
+		}
+		kept = append(kept, m)
+	}
+	newLen := q.head + len(kept)
+	for i := newLen; i < len(q.items); i++ {
+		q.items[i] = Message{}
+	}
+	q.items = q.items[:newLen]
+	q.compact()
+	return out
+}
+
+// PeekN returns up to n messages from the front without removing them. The
+// returned slice must not be modified.
+func (q *Queue) PeekN(n int) []Message {
+	if n <= 0 || q.Len() == 0 {
+		return nil
+	}
+	if n > q.Len() {
+		n = q.Len()
+	}
+	return q.items[q.head : q.head+n]
+}
+
+// compact reclaims the consumed prefix once it dominates the backing array.
+func (q *Queue) compact() {
+	if q.head == 0 {
+		return
+	}
+	if q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		// Zero the tail so popped messages can be collected.
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = Message{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
+// String summarises the queue for diagnostics.
+func (q *Queue) String() string {
+	return fmt.Sprintf("queue{len=%d max=%d dropped=%d}", q.Len(), q.max, q.dropped)
+}

@@ -1,0 +1,145 @@
+// Package mobility turns a tfl.Dataset timetable into positions over time:
+// the reproduction's substitute for the SUMO microscopic traffic simulator.
+//
+// Each trip becomes a Bus that shuttles along its route polyline at the
+// route's average speed (stop dwell folded into the speed — exactly the
+// abstraction level the paper's protocols observe) for the length of its
+// service shift. Buses are inactive outside their shift window, modelling
+// vehicles entering and leaving service across the day — the driver of the
+// Fig. 7a active-bus curve and of the long disconnection periods the
+// forwarding schemes exploit.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mlorass/internal/geo"
+	"mlorass/internal/tfl"
+)
+
+// Bus is one vehicle operating one timetabled trip.
+type Bus struct {
+	trip     tfl.Trip
+	route    *geo.Polyline
+	speedMPS float64 // effective speed so the trip finishes exactly on time
+}
+
+// ID returns the trip/bus identifier (unique within the dataset).
+func (b *Bus) ID() int { return b.trip.ID }
+
+// Trip returns the underlying timetable entry.
+func (b *Bus) Trip() tfl.Trip { return b.trip }
+
+// SpeedMPS returns the route's average ground speed in metres per second.
+func (b *Bus) SpeedMPS() float64 { return b.speedMPS }
+
+// Active reports whether the bus is in service at the given instant.
+func (b *Bus) Active(at time.Duration) bool { return b.trip.ActiveAt(at) }
+
+// Position returns the bus position at the given instant; ok is false when
+// the bus is out of service.
+//
+// Within its shift the bus shuttles back and forth along the route: the
+// distance travelled maps onto the polyline as a triangle wave, so a vehicle
+// whose shift outlasts one end-to-end run turns around and serves the route
+// in the opposite direction, exactly like a timetabled bus block.
+func (b *Bus) Position(at time.Duration) (geo.Point, bool) {
+	if !b.trip.ActiveAt(at) {
+		return geo.Point{}, false
+	}
+	length := b.route.Length()
+	progress := b.speedMPS * (at - b.trip.Start).Seconds()
+	m := math.Mod(progress, 2*length)
+	if m > length {
+		m = 2*length - m
+	}
+	if b.trip.Reverse {
+		m = length - m
+	}
+	return b.route.At(m), true
+}
+
+// Fleet is the full set of buses for one simulated day.
+type Fleet struct {
+	buses []*Bus
+}
+
+// NewFleet compiles a dataset into buses. Route polylines are built once and
+// shared between the trips that reference them.
+func NewFleet(ds *tfl.Dataset) (*Fleet, error) {
+	type compiled struct {
+		line  *geo.Polyline
+		speed float64
+	}
+	lines := make(map[string]compiled, len(ds.Routes))
+	for _, r := range ds.Routes {
+		pl, err := r.Polyline()
+		if err != nil {
+			return nil, fmt.Errorf("mobility: %w", err)
+		}
+		if r.SpeedMPS <= 0 {
+			return nil, fmt.Errorf("mobility: route %s has non-positive speed %v", r.ID, r.SpeedMPS)
+		}
+		lines[r.ID] = compiled{line: pl, speed: r.SpeedMPS}
+	}
+	f := &Fleet{buses: make([]*Bus, 0, len(ds.Trips))}
+	for _, tr := range ds.Trips {
+		c, ok := lines[tr.RouteID]
+		if !ok {
+			return nil, fmt.Errorf("mobility: trip %d references unknown route %s", tr.ID, tr.RouteID)
+		}
+		if tr.Duration <= 0 {
+			return nil, fmt.Errorf("mobility: trip %d has non-positive duration %v", tr.ID, tr.Duration)
+		}
+		f.buses = append(f.buses, &Bus{
+			trip:     tr,
+			route:    c.line,
+			speedMPS: c.speed,
+		})
+	}
+	return f, nil
+}
+
+// Len returns the number of buses (trips) in the fleet.
+func (f *Fleet) Len() int { return len(f.buses) }
+
+// Bus returns bus i in dataset order.
+func (f *Fleet) Bus(i int) *Bus { return f.buses[i] }
+
+// Buses returns the underlying slice; callers must not modify it.
+func (f *Fleet) Buses() []*Bus { return f.buses }
+
+// ActiveAt returns the indices of buses in service at the given instant, in
+// fleet order (deterministic).
+func (f *Fleet) ActiveAt(at time.Duration) []int {
+	var idx []int
+	for i, b := range f.buses {
+		if b.Active(at) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Within returns the indices of active buses within radius metres of pos at
+// the given instant, excluding the bus with index exclude (pass -1 to keep
+// all). Used by the radio layer to find overhearing candidates.
+func (f *Fleet) Within(at time.Duration, pos geo.Point, radius float64, exclude int) []int {
+	r2 := radius * radius
+	var idx []int
+	for i, b := range f.buses {
+		if i == exclude {
+			continue
+		}
+		p, ok := b.Position(at)
+		if !ok {
+			continue
+		}
+		if p.DistSq(pos) <= r2 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,91 @@
+// Package netserver implements the LoRaWAN network server: the single
+// backend all gateways feed into over their (instant, reliable) Ethernet
+// backhaul (Sec. VII-A4).
+//
+// The server deduplicates messages received through multiple gateways,
+// issues acknowledgements (assumed instantaneous and always successful, as
+// in the paper), and keeps the delivery ledger the evaluation metrics read:
+// per-message end-to-end delay, hop counts, and arrival times for the
+// throughput time series.
+package netserver
+
+import (
+	"time"
+
+	"mlorass/internal/lorawan"
+)
+
+// Delivery records one message's first arrival at the server.
+type Delivery struct {
+	// MessageID identifies the application message.
+	MessageID uint64
+	// Origin is the device that generated the message.
+	Origin int
+	// Created is the message generation time.
+	Created time.Duration
+	// Arrived is the first server reception time.
+	Arrived time.Duration
+	// Hops is the total number of wireless hops the winning copy took:
+	// device-to-device handovers plus the final device-to-gateway uplink
+	// (so a direct uplink counts 1, matching Fig. 12).
+	Hops int
+	// Gateway is the index of the gateway that delivered the first copy.
+	Gateway int
+}
+
+// Delay returns the end-to-end delay δt = t_g − t_d (Sec. VII-B).
+func (d Delivery) Delay() time.Duration { return d.Arrived - d.Created }
+
+// Server is the network server. Not safe for concurrent use (it lives on
+// the single-threaded simulator).
+type Server struct {
+	seen       map[uint64]struct{}
+	deliveries []Delivery
+	duplicates uint64
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{seen: make(map[uint64]struct{})}
+}
+
+// Ingest processes a bundle of messages received by gateway gw at time now.
+// It returns how many of them were new (non-duplicate). Duplicates — copies
+// already delivered via another gateway or an earlier uplink — are counted
+// but not re-recorded.
+func (s *Server) Ingest(now time.Duration, gw int, msgs []lorawan.Message) int {
+	fresh := 0
+	for _, m := range msgs {
+		if _, dup := s.seen[m.ID]; dup {
+			s.duplicates++
+			continue
+		}
+		s.seen[m.ID] = struct{}{}
+		s.deliveries = append(s.deliveries, Delivery{
+			MessageID: m.ID,
+			Origin:    m.Origin,
+			Created:   m.Created,
+			Arrived:   now,
+			Hops:      m.Hops + 1,
+			Gateway:   gw,
+		})
+		fresh++
+	}
+	return fresh
+}
+
+// Delivered reports whether a message has reached the server.
+func (s *Server) Delivered(messageID uint64) bool {
+	_, ok := s.seen[messageID]
+	return ok
+}
+
+// Deliveries returns the delivery ledger in arrival order. Callers must not
+// modify the returned slice.
+func (s *Server) Deliveries() []Delivery { return s.deliveries }
+
+// Count returns the number of distinct delivered messages.
+func (s *Server) Count() int { return len(s.deliveries) }
+
+// Duplicates returns the number of duplicate copies discarded.
+func (s *Server) Duplicates() uint64 { return s.duplicates }

@@ -1,0 +1,87 @@
+package netserver
+
+import (
+	"testing"
+	"time"
+
+	"mlorass/internal/lorawan"
+)
+
+func TestIngestRecordsDelivery(t *testing.T) {
+	s := New()
+	msgs := []lorawan.Message{{ID: 1, Origin: 4, Created: time.Minute, Hops: 2}}
+	if fresh := s.Ingest(10*time.Minute, 3, msgs); fresh != 1 {
+		t.Fatalf("fresh = %d", fresh)
+	}
+	if s.Count() != 1 || !s.Delivered(1) {
+		t.Fatal("delivery not recorded")
+	}
+	d := s.Deliveries()[0]
+	if d.Origin != 4 || d.Gateway != 3 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if d.Hops != 3 { // 2 handovers + final uplink
+		t.Fatalf("Hops = %d, want 3", d.Hops)
+	}
+	if d.Delay() != 9*time.Minute {
+		t.Fatalf("Delay = %v", d.Delay())
+	}
+}
+
+func TestIngestDeduplicates(t *testing.T) {
+	s := New()
+	m := lorawan.Message{ID: 7}
+	s.Ingest(time.Minute, 0, []lorawan.Message{m})
+	if fresh := s.Ingest(2*time.Minute, 1, []lorawan.Message{m}); fresh != 0 {
+		t.Fatalf("duplicate counted as fresh: %d", fresh)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Duplicates() != 1 {
+		t.Fatalf("Duplicates = %d", s.Duplicates())
+	}
+	// First arrival wins: delay measured from the first copy.
+	if got := s.Deliveries()[0].Arrived; got != time.Minute {
+		t.Fatalf("Arrived = %v", got)
+	}
+}
+
+func TestIngestMixedBundle(t *testing.T) {
+	s := New()
+	s.Ingest(0, 0, []lorawan.Message{{ID: 1}, {ID: 2}})
+	fresh := s.Ingest(time.Second, 1, []lorawan.Message{{ID: 2}, {ID: 3}, {ID: 4}})
+	if fresh != 2 {
+		t.Fatalf("fresh = %d, want 2", fresh)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+}
+
+func TestDirectUplinkHopCount(t *testing.T) {
+	// Fig. 12: "all LoRaWAN messages have a hop count of 1" — a message
+	// that never hopped device-to-device arrives with Hops 1.
+	s := New()
+	s.Ingest(0, 0, []lorawan.Message{{ID: 1, Hops: 0}})
+	if got := s.Deliveries()[0].Hops; got != 1 {
+		t.Fatalf("direct uplink Hops = %d, want 1", got)
+	}
+}
+
+func TestDeliveredUnknown(t *testing.T) {
+	s := New()
+	if s.Delivered(99) {
+		t.Fatal("unknown message reported delivered")
+	}
+}
+
+func TestIngestEmpty(t *testing.T) {
+	s := New()
+	if fresh := s.Ingest(0, 0, nil); fresh != 0 {
+		t.Fatalf("fresh = %d", fresh)
+	}
+	if s.Count() != 0 {
+		t.Fatal("empty ingest recorded deliveries")
+	}
+}

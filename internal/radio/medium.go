@@ -1,0 +1,207 @@
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"mlorass/internal/geo"
+	"mlorass/internal/rng"
+)
+
+// Outcome classifies the result of attempting to receive a transmission.
+type Outcome int
+
+// Reception outcomes.
+const (
+	// OutcomeReceived means the frame was decoded successfully.
+	OutcomeReceived Outcome = iota + 1
+	// OutcomeOutOfRange means the receiver was beyond the hard
+	// connectivity gate (the paper's fixed 0.5/1 km ranges).
+	OutcomeOutOfRange
+	// OutcomeBelowSensitivity means the RSSI after path loss and
+	// shadowing fell below the spreading factor's sensitivity.
+	OutcomeBelowSensitivity
+	// OutcomeCollision means an overlapping same-channel transmission
+	// destroyed the frame (no capture).
+	OutcomeCollision
+)
+
+// String names the outcome for reports and test failures.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeReceived:
+		return "received"
+	case OutcomeOutOfRange:
+		return "out-of-range"
+	case OutcomeBelowSensitivity:
+		return "below-sensitivity"
+	case OutcomeCollision:
+		return "collision"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Reception is the result of one receive attempt, including the RSSI the
+// receiver observed (valid for every outcome except OutcomeOutOfRange).
+type Reception struct {
+	Outcome Outcome
+	RSSIDBm float64
+}
+
+// OK reports whether the frame was decoded.
+func (r Reception) OK() bool { return r.Outcome == OutcomeReceived }
+
+// Transmission is one frame on the air. Payload is opaque to the medium; the
+// MAC layer stores its frame there.
+type Transmission struct {
+	ID       uint64
+	From     int
+	Pos      geo.Point
+	PowerDBm float64
+	Start    time.Duration
+	End      time.Duration
+	Payload  any
+}
+
+// MediumConfig parameterises the shared channel.
+type MediumConfig struct {
+	// Loss is the path-loss model.
+	Loss PathLoss
+	// SensitivityDBm is the receiver sensitivity (per the configured SF).
+	SensitivityDBm float64
+	// CaptureDB is the co-channel rejection: a frame survives overlap if
+	// its RSSI exceeds the strongest interferer by at least this margin.
+	// FLoRa and most LoRa studies use 6 dB.
+	CaptureDB float64
+	// MaxRangeM is a hard connectivity gate in metres; 0 disables it.
+	// The paper gates device↔gateway links at 1 km and device↔device
+	// links at 0.5 km (urban) or 1 km (rural).
+	MaxRangeM float64
+	// Seed seeds the shadowing stream.
+	Seed uint64
+}
+
+// Medium is a single shared LoRa channel: it tracks in-flight transmissions
+// and answers receive queries with collision and capture modelling. All
+// nodes in the paper's evaluation share one channel and one SF, so one
+// Medium instance (per link class) models the whole network. Not safe for
+// concurrent use; it lives on the single-threaded simulator.
+type Medium struct {
+	cfg    MediumConfig
+	shadow *rng.Source
+	active []*Transmission
+	nextID uint64
+
+	// Stats counts outcomes for the overhead/diagnostics reports.
+	stats MediumStats
+}
+
+// MediumStats aggregates channel-level counters.
+type MediumStats struct {
+	Transmissions    uint64
+	Receptions       uint64
+	Collisions       uint64
+	BelowSensitivity uint64
+	OutOfRange       uint64
+}
+
+// NewMedium builds a medium; it panics only on programmer error (invalid
+// path-loss model), reported as error instead.
+func NewMedium(cfg MediumConfig) (*Medium, error) {
+	if err := cfg.Loss.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CaptureDB < 0 {
+		return nil, fmt.Errorf("radio: capture threshold %v must be non-negative", cfg.CaptureDB)
+	}
+	return &Medium{cfg: cfg, shadow: rng.New(cfg.Seed)}, nil
+}
+
+// Config returns the medium's configuration.
+func (m *Medium) Config() MediumConfig { return m.cfg }
+
+// Stats returns a copy of the channel counters.
+func (m *Medium) Stats() MediumStats { return m.stats }
+
+// Begin registers a transmission that occupies the channel from start to
+// end. The returned Transmission must be passed to Receive by interested
+// receivers at its end time; old transmissions are pruned lazily.
+func (m *Medium) Begin(from int, pos geo.Point, powerDBm float64, start, end time.Duration, payload any) *Transmission {
+	m.nextID++
+	tx := &Transmission{
+		ID:       m.nextID,
+		From:     from,
+		Pos:      pos,
+		PowerDBm: powerDBm,
+		Start:    start,
+		End:      end,
+		Payload:  payload,
+	}
+	m.active = append(m.active, tx)
+	m.stats.Transmissions++
+	return tx
+}
+
+// prune drops transmissions that ended strictly before cutoff, keeping the
+// active list short. Called internally from Receive.
+func (m *Medium) prune(cutoff time.Duration) {
+	keep := m.active[:0]
+	for _, tx := range m.active {
+		if tx.End >= cutoff {
+			keep = append(keep, tx)
+		}
+	}
+	// Zero the tail so dropped transmissions can be collected.
+	for i := len(keep); i < len(m.active); i++ {
+		m.active[i] = nil
+	}
+	m.active = keep
+}
+
+// ActiveCount returns the number of transmissions still tracked (diagnostic).
+func (m *Medium) ActiveCount() int { return len(m.active) }
+
+// Receive evaluates whether a receiver at rxPos decodes tx. Call it at the
+// transmission's end time so all overlapping interferers are registered.
+// Each call makes one shadowing draw, so runs remain deterministic given
+// deterministic event order.
+func (m *Medium) Receive(tx *Transmission, rxPos geo.Point) Reception {
+	m.prune(tx.Start)
+
+	dist := tx.Pos.Dist(rxPos)
+	if m.cfg.MaxRangeM > 0 && dist > m.cfg.MaxRangeM {
+		m.stats.OutOfRange++
+		return Reception{Outcome: OutcomeOutOfRange}
+	}
+
+	rssi := m.cfg.Loss.RSSI(tx.PowerDBm, dist, m.shadow)
+	if rssi < m.cfg.SensitivityDBm {
+		m.stats.BelowSensitivity++
+		return Reception{Outcome: OutcomeBelowSensitivity, RSSIDBm: rssi}
+	}
+
+	// Capture check against the strongest overlapping interferer. Mean
+	// RSSI (no extra shadowing draw) keeps interference deterministic and
+	// symmetric across receivers.
+	strongest := -1e9
+	for _, other := range m.active {
+		if other.ID == tx.ID || other.From == tx.From {
+			continue
+		}
+		if other.End <= tx.Start || other.Start >= tx.End {
+			continue
+		}
+		ir := m.cfg.Loss.MeanRSSI(other.PowerDBm, other.Pos.Dist(rxPos))
+		if ir > strongest {
+			strongest = ir
+		}
+	}
+	if strongest > -1e9 && rssi-strongest < m.cfg.CaptureDB {
+		m.stats.Collisions++
+		return Reception{Outcome: OutcomeCollision, RSSIDBm: rssi}
+	}
+
+	m.stats.Receptions++
+	return Reception{Outcome: OutcomeReceived, RSSIDBm: rssi}
+}

@@ -1,0 +1,90 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"mlorass/internal/rng"
+)
+
+// PathLoss is a log-distance path-loss model with log-normal shadowing:
+//
+//	PL(d) = RefLossDB + 10 · Exponent · log10(d / RefDistM) + X
+//
+// where X ~ N(0, ShadowSigmaDB²). The defaults reproduce the sub-urban LoRa
+// calibration the paper uses (path-loss exponent 2.32, Petäjäjärvi et al.,
+// ITST 2015).
+type PathLoss struct {
+	// Exponent is the path-loss exponent n.
+	Exponent float64
+	// RefDistM is the reference distance d0 in metres.
+	RefDistM float64
+	// RefLossDB is the measured loss at the reference distance.
+	RefLossDB float64
+	// ShadowSigmaDB is the shadowing standard deviation; 0 disables
+	// shadowing.
+	ShadowSigmaDB float64
+}
+
+// DefaultPathLoss returns the paper's sub-urban model: n = 2.32, d0 = 40 m,
+// PL(d0) = 107.41 dB, σ = 7.8 dB.
+func DefaultPathLoss() PathLoss {
+	return PathLoss{Exponent: 2.32, RefDistM: 40, RefLossDB: 107.41, ShadowSigmaDB: 7.8}
+}
+
+// Validate reports configuration errors.
+func (pl PathLoss) Validate() error {
+	if pl.Exponent <= 0 {
+		return fmt.Errorf("radio: path-loss exponent %v must be positive", pl.Exponent)
+	}
+	if pl.RefDistM <= 0 {
+		return fmt.Errorf("radio: reference distance %v must be positive", pl.RefDistM)
+	}
+	if pl.ShadowSigmaDB < 0 {
+		return fmt.Errorf("radio: shadow sigma %v must be non-negative", pl.ShadowSigmaDB)
+	}
+	return nil
+}
+
+// MeanLossDB returns the deterministic (shadowing-free) path loss in dB at
+// distance d metres. Distances below the reference distance clamp to it, so
+// co-located nodes see the reference loss rather than a negative loss.
+func (pl PathLoss) MeanLossDB(d float64) float64 {
+	if d < pl.RefDistM {
+		d = pl.RefDistM
+	}
+	return pl.RefLossDB + 10*pl.Exponent*math.Log10(d/pl.RefDistM)
+}
+
+// LossDB returns the path loss at distance d with one shadowing draw from r.
+// A nil r yields the mean loss.
+func (pl PathLoss) LossDB(d float64, r *rng.Source) float64 {
+	loss := pl.MeanLossDB(d)
+	if r != nil && pl.ShadowSigmaDB > 0 {
+		loss += r.Norm(0, pl.ShadowSigmaDB)
+	}
+	return loss
+}
+
+// RSSI returns the received signal strength in dBm for a transmit power of
+// txDBm at distance d, with one shadowing draw from r (nil r => mean).
+func (pl PathLoss) RSSI(txDBm, d float64, r *rng.Source) float64 {
+	return txDBm - pl.LossDB(d, r)
+}
+
+// MeanRSSI returns the shadowing-free RSSI.
+func (pl PathLoss) MeanRSSI(txDBm, d float64) float64 {
+	return txDBm - pl.MeanLossDB(d)
+}
+
+// RangeFor returns the distance in metres at which the mean RSSI drops to the
+// given sensitivity for the given transmit power: the mean communication
+// range. With the default model and 14 dBm / SF7 this is on the order of the
+// 1 km gateway range the paper assumes.
+func (pl PathLoss) RangeFor(txDBm, sensitivityDBm float64) float64 {
+	budget := txDBm - sensitivityDBm - pl.RefLossDB
+	if budget <= 0 {
+		return pl.RefDistM
+	}
+	return pl.RefDistM * math.Pow(10, budget/(10*pl.Exponent))
+}

@@ -1,0 +1,171 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the distributions the simulator needs.
+//
+// Every source of randomness in the repository flows from a single seed
+// through this package so that complete simulation runs are bit-for-bit
+// reproducible. The generator is xoshiro256** seeded via SplitMix64, the
+// combination recommended by the xoshiro authors; it is not cryptographically
+// secure and must never be used for security purposes.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic xoshiro256** generator.
+//
+// The zero value is NOT usable; construct with New or Split. Source is not
+// safe for concurrent use: give each goroutine its own Split.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64, so that nearby seeds
+// still produce uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not be seeded with all zeros; SplitMix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Split derives an independent child generator from the current state. The
+// parent advances, so successive Splits return distinct streams.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's unbiased bounded generation.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := bits.Mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation, using the polar Box–Muller method.
+func (r *Source) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// LogNormal returns exp(N(mu, sigma)): a log-normal variate parameterised by
+// the underlying normal's mean and standard deviation.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Exp returns an exponentially distributed float64 with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp called with non-positive rate")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / rate
+		}
+	}
+}
+
+// Poisson returns a Poisson-distributed int with the given mean, using
+// Knuth's method for small means and normal approximation above 64.
+func (r *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		n := int(math.Round(r.Norm(mean, math.Sqrt(mean))))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

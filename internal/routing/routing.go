@@ -1,0 +1,151 @@
+// Package routing defines the forwarding schemes the paper evaluates as
+// pluggable policies over the core metrics:
+//
+//   - NoRouting: the modified-LoRaWAN baseline — hold everything until the
+//     next gateway contact (Sec. VII-A7).
+//   - RCA-ETX: greedy forwarding by the Eq. (1) comparison.
+//   - ROBC: backpressure forwarding by φ-corrected queue differentials
+//     (Eq. 10) transferring δ messages (Sec. V-B2).
+//
+// A policy sees one overheard broadcast at a time — the only neighbour
+// discovery LoRaWAN's duty-cycle regime permits — and answers whether the
+// listener should hand data to the broadcaster, and how much.
+package routing
+
+import (
+	"fmt"
+
+	"mlorass/internal/core"
+	"mlorass/internal/lorawan"
+)
+
+// Scheme enumerates the evaluated forwarding schemes.
+type Scheme int
+
+// Schemes under evaluation (Sec. VII-A7).
+const (
+	SchemeNoRouting Scheme = iota + 1
+	SchemeRCAETX
+	SchemeROBC
+)
+
+// String names the scheme as the paper's figures label it.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNoRouting:
+		return "NoRouting"
+	case SchemeRCAETX:
+		return "RCA-ETX"
+	case SchemeROBC:
+		return "ROBC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a known scheme.
+func (s Scheme) Valid() bool { return s >= SchemeNoRouting && s <= SchemeROBC }
+
+// LocalState is the listener's routing state at decision time.
+type LocalState struct {
+	// RCAETX is the listener's own RCA-ETX(x, S) in seconds.
+	RCAETX float64
+	// Phi is the listener's clamped Real-time Gateway Quality.
+	Phi float64
+	// QueueLen is the listener's total backlog (queued + in-flight).
+	QueueLen int
+}
+
+// Decision is a policy's verdict on one overheard broadcast.
+type Decision struct {
+	// Forward reports whether to hand data to the broadcaster.
+	Forward bool
+	// Count is how many messages to hand over; the device layer caps it
+	// at the bundle limit and the available queue.
+	Count int
+}
+
+// Policy decides, for one overheard broadcast, whether the listener forwards
+// part of its queue to the broadcaster.
+type Policy interface {
+	// Scheme identifies the policy.
+	Scheme() Scheme
+	// OnOverhear receives the listener's state, the overheard frame
+	// (carrying the broadcaster's advertised RCA-ETX and queue length),
+	// and the listener→broadcaster link metric RCA-ETX(x, y) from
+	// Eq. (6). phiBounds carry the ROBC stability clamps.
+	OnOverhear(local LocalState, frame lorawan.Frame, linkETX float64, phiMin, phiMax float64) Decision
+}
+
+// New returns the policy implementing the given scheme.
+func New(s Scheme) (Policy, error) {
+	switch s {
+	case SchemeNoRouting:
+		return noRouting{}, nil
+	case SchemeRCAETX:
+		return rcaETX{}, nil
+	case SchemeROBC:
+		return robc{}, nil
+	default:
+		return nil, fmt.Errorf("routing: unknown scheme %d", int(s))
+	}
+}
+
+type noRouting struct{}
+
+var _ Policy = noRouting{}
+
+func (noRouting) Scheme() Scheme { return SchemeNoRouting }
+
+// OnOverhear never forwards: NoRouting devices hold their queue until a
+// gateway contact.
+func (noRouting) OnOverhear(LocalState, lorawan.Frame, float64, float64, float64) Decision {
+	return Decision{}
+}
+
+type rcaETX struct{}
+
+var _ Policy = rcaETX{}
+
+func (rcaETX) Scheme() Scheme { return SchemeRCAETX }
+
+// OnOverhear applies Eq. (1): forward everything transferable when the
+// broadcaster's total cost undercuts the listener's own.
+func (rcaETX) OnOverhear(local LocalState, frame lorawan.Frame, linkETX float64, _, _ float64) Decision {
+	if local.QueueLen == 0 {
+		return Decision{}
+	}
+	if !core.ShouldForwardGreedy(local.RCAETX, frame.AdvertisedRCAETX, linkETX) {
+		return Decision{}
+	}
+	return Decision{Forward: true, Count: local.QueueLen}
+}
+
+type robc struct{}
+
+var _ Policy = robc{}
+
+func (robc) Scheme() Scheme { return SchemeROBC }
+
+// OnOverhear applies Eq. (10): forward δ messages when the listener's
+// φ-corrected backlog exceeds the broadcaster's. The broadcaster's φ is
+// recovered from its advertised RCA-ETX with the same clamps the listener
+// uses, so both sides of the weight are commensurate.
+func (robc) OnOverhear(local LocalState, frame lorawan.Frame, linkETX float64, phiMin, phiMax float64) Decision {
+	if local.QueueLen == 0 {
+		return Decision{}
+	}
+	// A dead link cannot carry data regardless of queue pressure.
+	if linkETX <= 0 || linkETX != linkETX || linkETX > 1e18 {
+		return Decision{}
+	}
+	phiY := core.ClampPhi(1/frame.AdvertisedRCAETX, phiMin, phiMax)
+	if !core.ShouldForwardROBC(local.QueueLen, frame.AdvertisedQueueLen, local.Phi, phiY) {
+		return Decision{}
+	}
+	n := core.ROBCTransfer(local.QueueLen, frame.AdvertisedQueueLen, local.Phi, phiY)
+	if n == 0 {
+		return Decision{}
+	}
+	return Decision{Forward: true, Count: n}
+}

@@ -1,0 +1,230 @@
+// Package stats provides the measurement utilities behind the paper's
+// evaluation artefacts: summary statistics (Fig. 8's mean delay with error
+// bars), time-bucketed counters (Figs. 9–11 throughput), histograms
+// (Figs. 7b, 12), and per-node counters (Fig. 13).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates streaming summary statistics via Welford's algorithm.
+// The zero value is ready to use.
+type Summary struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 with < 2 samples).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean (the paper's Fig. 8 error
+// bars).
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders "mean ± stderr (n=...)" for reports.
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean(), s.StdErr(), s.n)
+}
+
+// TimeSeries counts events in fixed-width time buckets over a horizon: the
+// structure behind the msgs-per-10-minutes plots (Figs. 10–11).
+type TimeSeries struct {
+	bin     time.Duration
+	horizon time.Duration
+	counts  []int
+}
+
+// NewTimeSeries builds a series of horizon/bin buckets. It returns an error
+// when bin or horizon are non-positive.
+func NewTimeSeries(bin, horizon time.Duration) (*TimeSeries, error) {
+	if bin <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("stats: bin %v and horizon %v must be positive", bin, horizon)
+	}
+	n := int((horizon + bin - 1) / bin)
+	return &TimeSeries{bin: bin, horizon: horizon, counts: make([]int, n)}, nil
+}
+
+// Record adds count events at the given instant; instants outside the
+// horizon are clamped into the edge buckets.
+func (ts *TimeSeries) Record(at time.Duration, count int) {
+	i := int(at / ts.bin)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ts.counts) {
+		i = len(ts.counts) - 1
+	}
+	ts.counts[i] += count
+}
+
+// Bin returns the bucket width.
+func (ts *TimeSeries) Bin() time.Duration { return ts.bin }
+
+// Counts returns a copy of the per-bucket counts.
+func (ts *TimeSeries) Counts() []int {
+	out := make([]int, len(ts.counts))
+	copy(out, ts.counts)
+	return out
+}
+
+// Total returns the sum over all buckets.
+func (ts *TimeSeries) Total() int {
+	sum := 0
+	for _, c := range ts.counts {
+		sum += c
+	}
+	return sum
+}
+
+// WindowSum returns the total over buckets covering [from, to).
+func (ts *TimeSeries) WindowSum(from, to time.Duration) int {
+	lo := int(from / ts.bin)
+	hi := int((to + ts.bin - 1) / ts.bin)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ts.counts) {
+		hi = len(ts.counts)
+	}
+	sum := 0
+	for i := lo; i < hi; i++ {
+		sum += ts.counts[i]
+	}
+	return sum
+}
+
+// Histogram buckets float64 observations into fixed-width bins over
+// [min, max); out-of-range observations land in the edge bins.
+type Histogram struct {
+	min, width float64
+	counts     []int
+	n          uint64
+}
+
+// NewHistogram builds a histogram with the given number of bins. It returns
+// an error for non-positive bin counts or an empty range.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins %d must be positive", bins)
+	}
+	if max <= min {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) empty", min, max)
+	}
+	return &Histogram{min: min, width: (max - min) / float64(bins), counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.min) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.n++
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.min + (float64(i)+0.5)*h.width
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of a sample using
+// linear interpolation; it returns 0 for an empty sample. The input slice is
+// not modified.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}

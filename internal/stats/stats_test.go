@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary not all zeros")
+	}
+}
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	wantSE := math.Sqrt(32.0/7) / math.Sqrt(8)
+	if got := s.StdErr(); math.Abs(got-wantSE) > 1e-12 {
+		t.Fatalf("StdErr = %v, want %v", got, wantSE)
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(90 * time.Second)
+	if got := s.Mean(); got != 90 {
+		t.Fatalf("Mean = %v, want seconds", got)
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Variance() != 0 || s.Stddev() != 0 {
+		t.Fatal("single-sample variance nonzero")
+	}
+	if s.Min() != 42 || s.Max() != 42 {
+		t.Fatal("single-sample min/max wrong")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts, err := NewTimeSeries(10*time.Minute, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ts.Counts()); got != 144 {
+		t.Fatalf("bucket count = %d, want 144", got)
+	}
+	ts.Record(0, 1)
+	ts.Record(9*time.Minute+59*time.Second, 2)
+	ts.Record(10*time.Minute, 5)
+	counts := ts.Counts()
+	if counts[0] != 3 || counts[1] != 5 {
+		t.Fatalf("counts = %v %v", counts[0], counts[1])
+	}
+	if ts.Total() != 8 {
+		t.Fatalf("Total = %d", ts.Total())
+	}
+}
+
+func TestTimeSeriesClamping(t *testing.T) {
+	ts, err := NewTimeSeries(time.Hour, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Record(-time.Hour, 1)
+	ts.Record(100*time.Hour, 1)
+	counts := ts.Counts()
+	if counts[0] != 1 || counts[len(counts)-1] != 1 {
+		t.Fatalf("edge clamping failed: %v", counts)
+	}
+}
+
+func TestTimeSeriesWindowSum(t *testing.T) {
+	ts, err := NewTimeSeries(time.Hour, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 4; h++ {
+		ts.Record(time.Duration(h)*time.Hour, h+1) // 1,2,3,4
+	}
+	if got := ts.WindowSum(time.Hour, 3*time.Hour); got != 5 {
+		t.Fatalf("WindowSum = %d, want 5", got)
+	}
+	if got := ts.WindowSum(0, 100*time.Hour); got != 10 {
+		t.Fatalf("full WindowSum = %d, want 10", got)
+	}
+}
+
+func TestTimeSeriesValidation(t *testing.T) {
+	if _, err := NewTimeSeries(0, time.Hour); err == nil {
+		t.Fatal("zero bin accepted")
+	}
+	if _, err := NewTimeSeries(time.Hour, 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	if counts[0] != 3 { // 0, 1.9, and clamped -3
+		t.Fatalf("bin 0 = %d", counts[0])
+	}
+	if counts[4] != 2 { // 9.9 and clamped 42
+		t.Fatalf("bin 4 = %d", counts[4])
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sample, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	Percentile(sample, 50)
+	if sample[0] != 3 || sample[1] != 1 || sample[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+// Property: Welford mean matches the naive mean for arbitrary samples.
+func TestQuickSummaryMeanMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		sum := 0.0
+		count := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+			sum += x
+			count++
+		}
+		if count == 0 {
+			return s.N() == 0
+		}
+		naive := sum / float64(count)
+		return math.Abs(s.Mean()-naive) <= 1e-6*math.Max(1, math.Abs(naive))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram never loses observations.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(xs []float64) bool {
+		h, err := NewHistogram(-100, 100, 13)
+		if err != nil {
+			return false
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+		}
+		total := 0
+		for _, c := range h.Counts() {
+			total += c
+		}
+		return uint64(total) == h.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

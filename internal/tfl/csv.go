@@ -1,0 +1,181 @@
+package tfl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlorass/internal/geo"
+)
+
+// The CSV dataset format carries both record kinds in one file so a dataset
+// is a single artefact:
+//
+//	area,<minX>,<minY>,<maxX>,<maxY>
+//	route,<id>,<speed_mps>,<x1:y1;x2:y2;...>
+//	trip,<id>,<route_id>,<start_s>,<duration_s>,<reverse 0|1>
+//
+// Real TFL timetable exports convert into this format with a small external
+// script; the simulator is agnostic to the dataset's origin.
+
+// Encode writes the dataset as CSV.
+func Encode(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	area := []string{
+		"area",
+		formatFloat(d.Area.Min.X), formatFloat(d.Area.Min.Y),
+		formatFloat(d.Area.Max.X), formatFloat(d.Area.Max.Y),
+	}
+	if err := cw.Write(area); err != nil {
+		return fmt.Errorf("tfl: encode area: %w", err)
+	}
+	for _, r := range d.Routes {
+		var sb strings.Builder
+		for i, p := range r.Points {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(formatFloat(p.X))
+			sb.WriteByte(':')
+			sb.WriteString(formatFloat(p.Y))
+		}
+		rec := []string{"route", r.ID, formatFloat(r.SpeedMPS), sb.String()}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("tfl: encode route %s: %w", r.ID, err)
+		}
+	}
+	for _, t := range d.Trips {
+		rev := "0"
+		if t.Reverse {
+			rev = "1"
+		}
+		rec := []string{
+			"trip",
+			strconv.Itoa(t.ID),
+			t.RouteID,
+			formatFloat(t.Start.Seconds()),
+			formatFloat(t.Duration.Seconds()),
+			rev,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("tfl: encode trip %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Decode parses a dataset previously written by Encode (or converted from a
+// real TFL export).
+func Decode(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	ds := &Dataset{}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tfl: decode line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) == 0 {
+			continue
+		}
+		switch rec[0] {
+		case "area":
+			if len(rec) != 5 {
+				return nil, fmt.Errorf("tfl: line %d: area needs 5 fields, got %d", line, len(rec))
+			}
+			vals, err := parseFloats(rec[1:])
+			if err != nil {
+				return nil, fmt.Errorf("tfl: line %d: %w", line, err)
+			}
+			ds.Area = geo.Rect{
+				Min: geo.Point{X: vals[0], Y: vals[1]},
+				Max: geo.Point{X: vals[2], Y: vals[3]},
+			}
+		case "route":
+			if len(rec) != 4 {
+				return nil, fmt.Errorf("tfl: line %d: route needs 4 fields, got %d", line, len(rec))
+			}
+			speed, err := strconv.ParseFloat(rec[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tfl: line %d: speed: %w", line, err)
+			}
+			pts, err := parsePoints(rec[3])
+			if err != nil {
+				return nil, fmt.Errorf("tfl: line %d: %w", line, err)
+			}
+			ds.Routes = append(ds.Routes, Route{ID: rec[1], SpeedMPS: speed, Points: pts})
+		case "trip":
+			if len(rec) != 6 {
+				return nil, fmt.Errorf("tfl: line %d: trip needs 6 fields, got %d", line, len(rec))
+			}
+			id, err := strconv.Atoi(rec[1])
+			if err != nil {
+				return nil, fmt.Errorf("tfl: line %d: trip id: %w", line, err)
+			}
+			start, err := strconv.ParseFloat(rec[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tfl: line %d: start: %w", line, err)
+			}
+			dur, err := strconv.ParseFloat(rec[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tfl: line %d: duration: %w", line, err)
+			}
+			ds.Trips = append(ds.Trips, Trip{
+				ID:       id,
+				RouteID:  rec[2],
+				Start:    time.Duration(start * float64(time.Second)),
+				Duration: time.Duration(dur * float64(time.Second)),
+				Reverse:  rec[5] == "1",
+			})
+		default:
+			return nil, fmt.Errorf("tfl: line %d: unknown record kind %q", line, rec[0])
+		}
+	}
+	return ds, nil
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parsePoints(s string) ([]geo.Point, error) {
+	parts := strings.Split(s, ";")
+	pts := make([]geo.Point, 0, len(parts))
+	for i, part := range parts {
+		xy := strings.SplitN(part, ":", 2)
+		if len(xy) != 2 {
+			return nil, fmt.Errorf("point %d: %q not x:y", i, part)
+		}
+		x, err := strconv.ParseFloat(xy[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("point %d x: %w", i, err)
+		}
+		y, err := strconv.ParseFloat(xy[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("point %d y: %w", i, err)
+		}
+		pts = append(pts, geo.Point{X: x, Y: y})
+	}
+	return pts, nil
+}

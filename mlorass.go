@@ -1,0 +1,188 @@
+// Package mlorass is a Go reproduction of "Contact-Aware Opportunistic Data
+// Forwarding in Disconnected LoRaWAN Mobile Networks" (Chen, Bhatia, Kolcun,
+// Boyle, McCann — ICDCS 2020).
+//
+// It implements the paper's two contributions — the RCA-ETX network metric
+// and the ROBC backpressure forwarding scheme — together with every
+// substrate the evaluation needs: a discrete-event simulator, a LoRa PHY
+// with collisions and capture, a LoRaWAN MAC with the paper's Modified
+// Class-C and Queue-based Class-A device classes, a synthetic
+// London-bus-network mobility model, gateway planning, a network server,
+// and the full experiment harness regenerating the paper's figures.
+//
+// This root package is the public API: configure a scenario with Config,
+// execute it with Run, and read the measurements from Result. Everything
+// the examples and benchmarks use flows through these re-exports; the
+// internal packages are implementation detail.
+//
+// Quickstart:
+//
+//	cfg := mlorass.QuickConfig()
+//	cfg.Scheme = mlorass.SchemeROBC
+//	res, err := mlorass.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Report())
+package mlorass
+
+import (
+	"io"
+	"time"
+
+	"mlorass/internal/core"
+	"mlorass/internal/experiment"
+	"mlorass/internal/geo"
+	"mlorass/internal/lorawan"
+	"mlorass/internal/routing"
+	"mlorass/internal/stats"
+	"mlorass/internal/tfl"
+)
+
+// Scheme selects the forwarding scheme under test.
+type Scheme = routing.Scheme
+
+// The three evaluated schemes (Sec. VII-A7).
+const (
+	// SchemeNoRouting is modified LoRaWAN without data forwarding.
+	SchemeNoRouting = routing.SchemeNoRouting
+	// SchemeRCAETX is greedy forwarding on the RCA-ETX metric (Eq. 1).
+	SchemeRCAETX = routing.SchemeRCAETX
+	// SchemeROBC is Real-time Opportunistic Backpressure Collection.
+	SchemeROBC = routing.SchemeROBC
+)
+
+// DeviceClass selects the LoRaWAN device class.
+type DeviceClass = lorawan.DeviceClass
+
+// Device classes, including the paper's two proposals (Sec. VI).
+const (
+	ClassA         = lorawan.ClassA
+	ClassB         = lorawan.ClassB
+	ClassC         = lorawan.ClassC
+	ClassModifiedC = lorawan.ClassModifiedC
+	ClassQueueA    = lorawan.ClassQueueA
+)
+
+// Environment selects the urban (0.5 km d2d) or rural (1 km d2d) setting.
+type Environment = experiment.Environment
+
+// Environments (Sec. VII-A6).
+const (
+	Urban = experiment.Urban
+	Rural = experiment.Rural
+)
+
+// Config parameterises one simulation scenario. See experiment.Config for
+// field documentation; zero fields take paper defaults.
+type Config = experiment.Config
+
+// Result carries a run's measurements: delivery counts, delay and hop
+// statistics, the throughput time series, and per-node overhead.
+type Result = experiment.Result
+
+// SweepPoint is one cell of a figure sweep.
+type SweepPoint = experiment.SweepPoint
+
+// Summary is a streaming mean/stddev/min/max accumulator.
+type Summary = stats.Summary
+
+// DefaultConfig returns the paper-shaped 24-hour scenario (density-
+// preserving 4x downscale of the 600 km² London world; see DESIGN.md).
+func DefaultConfig() Config { return experiment.DefaultConfig() }
+
+// QuickConfig returns a small 4-hour scenario for tests and demos.
+func QuickConfig() Config { return experiment.QuickConfig() }
+
+// Run executes one scenario.
+func Run(cfg Config) (*Result, error) { return experiment.Run(cfg) }
+
+// SweepFigures runs the Fig. 8/9/12/13 grid for one environment.
+func SweepFigures(base Config, env Environment, progress func(string)) ([]SweepPoint, error) {
+	return experiment.SweepFigures(base, env, progress)
+}
+
+// GatewaySweep returns the gateway counts used by the figure sweeps.
+func GatewaySweep() []int { return experiment.GatewaySweep() }
+
+// Fig8Table, Fig9Table, Fig12Table and Fig13Table render sweep results as
+// the corresponding paper tables.
+func Fig8Table(points []SweepPoint) string  { return experiment.Fig8Table(points) }
+func Fig9Table(points []SweepPoint) string  { return experiment.Fig9Table(points) }
+func Fig12Table(points []SweepPoint) string { return experiment.Fig12Table(points) }
+func Fig13Table(points []SweepPoint) string { return experiment.Fig13Table(points) }
+
+// GenerateDataset builds the synthetic TFL-like bus dataset used by the
+// evaluation; see the tfl package for the CSV interchange format.
+func GenerateDataset(seed uint64, numRoutes int, peakHeadway time.Duration) (*tfl.Dataset, error) {
+	return tfl.Generate(tfl.DefaultGenConfig(seed, numRoutes, peakHeadway))
+}
+
+// Metric construction — the paper's Eqs. 1–6 and 10, exposed for users who
+// want the metric without the simulator.
+
+// GatewayConfig parameterises a gateway-quality estimator.
+type GatewayConfig = core.GatewayConfig
+
+// GatewayEstimator tracks one device's RCA-ETX(x, S) in real time.
+type GatewayEstimator = core.GatewayEstimator
+
+// LinkModel maps overheard RSSI to link capacity and RCA-ETX(x, y).
+type LinkModel = core.LinkModel
+
+// NewGatewayEstimator builds an RCA-ETX estimator (Eqs. 2–4).
+func NewGatewayEstimator(cfg GatewayConfig) (*GatewayEstimator, error) {
+	return core.NewGatewayEstimator(cfg)
+}
+
+// DefaultGatewayConfig returns the paper's evaluation parameters (α = 0.5,
+// Δt = 3 min).
+func DefaultGatewayConfig() GatewayConfig { return core.DefaultGatewayConfig() }
+
+// DefaultLinkModel returns the evaluation's RSSI→capacity ramp (Eq. 5).
+func DefaultLinkModel(cmaxPPS float64) LinkModel { return core.DefaultLinkModel(cmaxPPS) }
+
+// ShouldForwardGreedy applies the RCA-ETX forwarding rule (Eq. 1).
+func ShouldForwardGreedy(ownETX, neighbourETX, linkETX float64) bool {
+	return core.ShouldForwardGreedy(ownETX, neighbourETX, linkETX)
+}
+
+// ROBCWeight computes the backpressure weight ω (Eq. 10).
+func ROBCWeight(qx, qy int, phiX, phiY float64) float64 {
+	return core.ROBCWeight(qx, qy, phiX, phiY)
+}
+
+// ROBCTransfer computes the transfer amount δ (Sec. V-B2).
+func ROBCTransfer(qx, qy int, phiX, phiY float64) int {
+	return core.ROBCTransfer(qx, qy, phiX, phiY)
+}
+
+// Dataset re-exports: external users build custom mobility datasets through
+// these aliases (the internal packages are not importable).
+
+// Dataset is a day of bus-network routes and vehicle shifts.
+type Dataset = tfl.Dataset
+
+// Route is one fixed polyline bus line.
+type Route = tfl.Route
+
+// Trip is one vehicle's service shift on a route.
+type Trip = tfl.Trip
+
+// Point is a planar position in metres.
+type Point = geo.Point
+
+// Area is an axis-aligned rectangle of the planar world.
+type Area = geo.Rect
+
+// SquareArea returns a square operating area with the given side in metres.
+func SquareArea(side float64) Area { return geo.Square(side) }
+
+// EncodeDataset and DecodeDataset serialise datasets in the CSV interchange
+// format, so converted real TFL exports can be dropped in.
+func EncodeDataset(w io.Writer, d *Dataset) error { return tfl.Encode(w, d) }
+
+// DecodeDataset parses a dataset written by EncodeDataset.
+func DecodeDataset(r io.Reader) (*Dataset, error) { return tfl.Decode(r) }
+
+// Fig8MatchedTable renders the survivorship-corrected delay comparison (see
+// experiment.Fig8MatchedTable).
+func Fig8MatchedTable(points []SweepPoint) string { return experiment.Fig8MatchedTable(points) }
