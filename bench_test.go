@@ -12,6 +12,7 @@ package mlorass_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -235,6 +236,68 @@ func BenchmarkAblationRandomGateways(b *testing.B) {
 			}
 			b.ReportMetric(delivered, "delivered")
 		})
+	}
+}
+
+// BenchmarkParallelSweep measures the sweep engine's scaling: the same
+// 21-cell figure grid run with one worker (the serial engine) and with a
+// full worker pool. Every cell is an independently seeded simulation, so the
+// speedup should track the worker count until the machine saturates.
+func BenchmarkParallelSweep(b *testing.B) {
+	sweepBase := func() experiment.Config {
+		cfg := experiment.DefaultConfig()
+		cfg.AreaSideM = 5000
+		cfg.NumRoutes = 6
+		cfg.PeakHeadway = 20 * time.Minute
+		cfg.Duration = 2 * time.Hour
+		return cfg
+	}
+	pool := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pool = append(pool, n)
+	}
+	for _, workers := range pool {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var delivered float64
+			for i := 0; i < b.N; i++ {
+				points, err := experiment.ParallelSweep(sweepBase(), experiment.Urban,
+					experiment.SweepOptions{Workers: workers, Reps: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = 0
+				for _, p := range points {
+					delivered += p.Agg.Delivered.Mean()
+				}
+			}
+			b.ReportMetric(delivered, "delivered")
+		})
+	}
+}
+
+// BenchmarkReplicatedSweep measures a multi-seed cell: 5 replications of one
+// scenario through the pool, the configuration behind mean ± 95% CI figures.
+func BenchmarkReplicatedSweep(b *testing.B) {
+	cfg := experiment.DefaultConfig()
+	cfg.AreaSideM = 5000
+	cfg.NumRoutes = 6
+	cfg.PeakHeadway = 20 * time.Minute
+	cfg.Duration = 2 * time.Hour
+	cfg.Scheme = routing.SchemeROBC
+	for i := 0; i < b.N; i++ {
+		results := make([]*experiment.Result, 5)
+		for rep := range results {
+			c := cfg
+			c.Seed = experiment.RepSeed(cfg.Seed, rep)
+			res, err := experiment.Run(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[rep] = res
+		}
+		agg := experiment.AggregateResults(results)
+		b.ReportMetric(agg.Delivered.Mean(), "delivered")
+		b.ReportMetric(agg.Delivered.CI95(), "delivered-ci95")
 	}
 }
 

@@ -3,17 +3,23 @@
 // series, the Fig. 7 dataset statistics, and the ablations (α sensitivity,
 // Queue-based Class-A, random gateway placement).
 //
+// Sweeps fan out over a worker pool (-parallel, default GOMAXPROCS) and can
+// replicate every cell across derived seeds (-reps), reporting each metric
+// as mean ± 95% confidence interval instead of a one-seed point estimate.
+//
 // Usage:
 //
 //	expsweep -fig 8 -env urban         # one figure, one environment
 //	expsweep -fig all                  # everything (long)
 //	expsweep -fig 8 -quick             # reduced scale for a fast look
+//	expsweep -fig 8 -parallel 8 -reps 5   # replicated parallel sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"mlorass"
@@ -31,14 +37,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("expsweep", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | ablations | all")
-		envName = fs.String("env", "both", "environment: urban | rural | both")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		quick   = fs.Bool("quick", false, "reduced scale (shorter horizon, smaller fleet)")
-		quiet   = fs.Bool("quiet", false, "suppress per-run progress lines")
+		fig      = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | ablations | all")
+		envName  = fs.String("env", "both", "environment: urban | rural | both")
+		seed     = fs.Uint64("seed", 1, "random seed (replications derive theirs from it)")
+		quick    = fs.Bool("quick", false, "reduced scale (shorter horizon, smaller fleet)")
+		quiet    = fs.Bool("quiet", false, "suppress per-run progress lines")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the figure sweeps (figs 8/9/12/13)")
+		reps     = fs.Int("reps", 1, "replications per sweep cell (figs 8/9/12/13); tables report mean ± 95% CI")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 1 || *reps < 1 {
+		return fmt.Errorf("-parallel %d and -reps %d must be at least 1", *parallel, *reps)
 	}
 
 	base := experiment.DefaultConfig()
@@ -47,21 +58,27 @@ func run(args []string) error {
 	}
 	base.Seed = *seed
 
-	progress := func(line string) { fmt.Fprintln(os.Stderr, "  run:", line) }
-	if *quiet {
-		progress = nil
-	}
-
 	envs, err := parseEnvs(*envName)
 	if err != nil {
 		return err
+	}
+
+	sw := sweeper{workers: *parallel, reps: *reps, quiet: *quiet}
+
+	switch *fig {
+	case "7", "10", "11", "ablations":
+		// These artefacts run outside the sweep engine; say so rather
+		// than silently dropping the flags.
+		if *reps > 1 || fs.Lookup("parallel").Value.String() != fs.Lookup("parallel").DefValue {
+			fmt.Fprintf(os.Stderr, "expsweep: note: -parallel/-reps apply to the figure sweeps only; -fig %s runs single-seed, serial\n", *fig)
+		}
 	}
 
 	switch *fig {
 	case "7":
 		return fig7(base)
 	case "8", "9", "12", "13":
-		return sweepFig(base, *fig, envs, progress)
+		return sw.sweepFig(base, envs)
 	case "10":
 		return series(base, experiment.Urban)
 	case "11":
@@ -72,7 +89,7 @@ func run(args []string) error {
 		if err := fig7(base); err != nil {
 			return err
 		}
-		if err := sweepFig(base, "8+9+12+13", envs, progress); err != nil {
+		if err := sw.sweepFig(base, envs); err != nil {
 			return err
 		}
 		if err := series(base, experiment.Urban); err != nil {
@@ -117,19 +134,37 @@ func fig7(base experiment.Config) error {
 	return nil
 }
 
-func sweepFig(base experiment.Config, which string, envs []experiment.Environment, progress func(string)) error {
+// sweeper runs the figure sweeps through the parallel engine.
+type sweeper struct {
+	workers int
+	reps    int
+	quiet   bool
+}
+
+func (sw sweeper) sweepFig(base experiment.Config, envs []experiment.Environment) error {
 	for _, env := range envs {
-		points, err := experiment.SweepFigures(base, env, progress)
+		var fn func(experiment.CellUpdate)
+		if !sw.quiet {
+			fn = func(u experiment.CellUpdate) {
+				fmt.Fprintf(os.Stderr, "  [%3d/%3d] rep %d seed %d: %s\n",
+					u.Completed, u.Total, u.Rep, u.Seed, u.Result.String())
+			}
+		}
+		points, err := experiment.ParallelSweepFunc(base, env,
+			experiment.SweepOptions{Workers: sw.workers, Reps: sw.reps}, fn)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiment.Fig8Table(points))
-		fmt.Println(experiment.Fig8MatchedTable(points))
-		fmt.Println(experiment.Fig9Table(points))
-		fmt.Println(experiment.Fig12Table(points))
-		fmt.Println(experiment.Fig13Table(points))
+		fmt.Println(experiment.Fig8AggTable(points))
+		if sw.reps > 1 {
+			fmt.Println("(the matched-coverage table below uses replication 0 only: it needs raw per-delivery samples, not aggregates)")
+		}
+		fmt.Println(experiment.Fig8MatchedTable(repPoints(points, 0)))
+		fmt.Println(experiment.Fig9AggTable(points))
+		fmt.Println(experiment.Fig12AggTable(points))
+		fmt.Println(experiment.Fig13AggTable(points))
 		fmt.Println("overhead ratios vs NoRouting (paper: 1.6-2.2x):")
-		ratios := experiment.OverheadRatios(points)
+		ratios := experiment.OverheadRatiosAgg(points)
 		for _, gw := range experiment.GatewaySweep() {
 			if m, ok := ratios[gw]; ok {
 				fmt.Printf("  gw=%3d  RCA-ETX %.2fx  ROBC %.2fx\n",
@@ -138,8 +173,23 @@ func sweepFig(base experiment.Config, which string, envs []experiment.Environmen
 		}
 		fmt.Println()
 	}
-	_ = which
 	return nil
+}
+
+// repPoints projects one replication of an aggregate sweep onto the classic
+// single-seed SweepPoint shape (for the matched-coverage table, which needs
+// raw per-delivery samples rather than cross-replication aggregates).
+func repPoints(points []experiment.AggregatePoint, rep int) []experiment.SweepPoint {
+	out := make([]experiment.SweepPoint, len(points))
+	for i, p := range points {
+		out[i] = experiment.SweepPoint{
+			Environment: p.Environment,
+			Scheme:      p.Scheme,
+			Gateways:    p.Gateways,
+			Result:      p.Reps[rep],
+		}
+	}
+	return out
 }
 
 func series(base experiment.Config, env experiment.Environment) error {

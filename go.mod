@@ -1,0 +1,3 @@
+module mlorass
+
+go 1.24

@@ -1,0 +1,336 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mlorass/internal/routing"
+)
+
+// SweepOptions configures ParallelSweep.
+type SweepOptions struct {
+	// Workers is the worker-pool size; values < 1 mean GOMAXPROCS.
+	Workers int
+	// Reps is the number of replications per cell, each with a seed
+	// derived from the base config's via RepSeed; values < 1 mean 1.
+	Reps int
+	// Progress, when non-nil, receives one CellUpdate per completed
+	// replication, in completion order. ParallelSweep sends from a single
+	// goroutine and never closes the channel; the caller must drain it
+	// concurrently (sends block) and owns closing it after the sweep
+	// returns.
+	Progress chan<- CellUpdate
+}
+
+// CellUpdate is one completed replication, streamed while a sweep runs.
+type CellUpdate struct {
+	Environment Environment
+	Scheme      routing.Scheme
+	Gateways    int
+	// Rep is the replication index within the cell, Seed its derived seed.
+	Rep  int
+	Seed uint64
+	// Result is the completed run's measurements.
+	Result *Result
+	// Completed counts runs finished so far (including this one) out of
+	// Total, for progress displays.
+	Completed int
+	Total     int
+}
+
+// AggregatePoint is one (environment, scheme, gateway-count) cell of a
+// replicated figure sweep: every replication's Result plus the collapsed
+// cross-replication statistics.
+type AggregatePoint struct {
+	Environment Environment
+	Scheme      routing.Scheme
+	Gateways    int
+	// Seeds holds the replication seeds in replication order.
+	Seeds []uint64
+	// Reps holds each replication's Result in replication order.
+	Reps []*Result
+	// Agg is the cross-replication aggregate of Reps.
+	Agg *Aggregate
+}
+
+// RepSeed derives the seed of replication rep from a base seed.
+// Replication 0 uses the base seed itself, so a single-replication sweep
+// reproduces a plain Run(cfg) exactly; later replications mix the index
+// through SplitMix64-style finalisation so nearby bases stay uncorrelated.
+func RepSeed(base uint64, rep int) uint64 {
+	if rep == 0 {
+		return base
+	}
+	z := base + uint64(rep)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sweepJob is one (cell, replication) run of a sweep.
+type sweepJob struct {
+	cell int // index into the AggregatePoint slice
+	rep  int
+	cfg  Config
+}
+
+// sweepDone is one finished job travelling from a worker to the collector.
+type sweepDone struct {
+	job sweepJob
+	res *Result
+	err error
+}
+
+// ParallelSweep runs the full figure grid — every scheme × gateway count for
+// the given environment, replicated opts.Reps times with seeds derived via
+// RepSeed — across a pool of opts.Workers goroutines. Each Run is
+// independently seeded and shares no state, so cells execute concurrently;
+// results are slotted back into deterministic figure order (gateway count
+// outer, scheme inner, replication innermost) regardless of completion
+// order, and each cell's replications are collapsed into an Aggregate.
+//
+// With Workers: 1 and Reps: 1 the output is identical, run for run, to the
+// serial SweepFigures engine this generalises.
+func ParallelSweep(base Config, env Environment, opts SweepOptions) ([]AggregatePoint, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reps := opts.Reps
+	if reps < 1 {
+		reps = 1
+	}
+
+	// Lay out cells and jobs in figure order; results land by index.
+	var (
+		cells []AggregatePoint
+		jobs  []sweepJob
+	)
+	for _, gw := range GatewaySweep() {
+		for _, scheme := range Schemes() {
+			ci := len(cells)
+			cells = append(cells, AggregatePoint{
+				Environment: env,
+				Scheme:      scheme,
+				Gateways:    gw,
+				Seeds:       make([]uint64, reps),
+				Reps:        make([]*Result, reps),
+			})
+			for rep := 0; rep < reps; rep++ {
+				cfg := base
+				cfg.Environment = env
+				cfg.D2DRangeM = 0 // re-derive from environment
+				cfg.NumGateways = gw
+				cfg.Scheme = scheme
+				cfg.Seed = RepSeed(base.Seed, rep)
+				cells[ci].Seeds[rep] = cfg.Seed
+				jobs = append(jobs, sweepJob{cell: ci, rep: rep, cfg: cfg})
+			}
+		}
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	jobCh := make(chan sweepJob)
+	doneCh := make(chan sweepDone)
+	var (
+		failed atomic.Bool // workers skip remaining jobs once set
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if failed.Load() {
+					doneCh <- sweepDone{job: j}
+					continue
+				}
+				res, err := Run(j.cfg)
+				doneCh <- sweepDone{job: j, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	// Collect every job from this single goroutine: slotting results,
+	// streaming progress, and keeping the lowest-index error so a failing
+	// sweep reports the same cell no matter how completions interleave.
+	var (
+		firstErr    error
+		firstErrJob = len(jobs)
+		completed   int
+	)
+	for d := range doneCh {
+		if d.err != nil {
+			failed.Store(true)
+			ji := d.job.cell*reps + d.job.rep
+			if ji < firstErrJob {
+				firstErrJob = ji
+				c := cells[d.job.cell]
+				firstErr = fmt.Errorf("sweep %v/%v/gw=%d rep=%d: %w",
+					c.Environment, c.Scheme, c.Gateways, d.job.rep, d.err)
+			}
+			continue
+		}
+		if d.res == nil {
+			continue // skipped after a failure elsewhere
+		}
+		cells[d.job.cell].Reps[d.job.rep] = d.res
+		completed++
+		if opts.Progress != nil {
+			c := cells[d.job.cell]
+			opts.Progress <- CellUpdate{
+				Environment: c.Environment,
+				Scheme:      c.Scheme,
+				Gateways:    c.Gateways,
+				Rep:         d.job.rep,
+				Seed:        c.Seeds[d.job.rep],
+				Result:      d.res,
+				Completed:   completed,
+				Total:       len(jobs),
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range cells {
+		cells[i].Agg = AggregateResults(cells[i].Reps)
+	}
+	return cells, nil
+}
+
+// ParallelSweepFunc runs ParallelSweep and delivers progress updates to fn,
+// called sequentially from a single goroutine, so callers get streamed
+// progress without managing the Progress channel's drain-and-close dance
+// themselves. A nil fn is a plain ParallelSweep.
+func ParallelSweepFunc(base Config, env Environment, opts SweepOptions, fn func(CellUpdate)) ([]AggregatePoint, error) {
+	if fn == nil {
+		return ParallelSweep(base, env, opts)
+	}
+	ch := make(chan CellUpdate)
+	drained := make(chan struct{})
+	opts.Progress = ch
+	go func() {
+		defer close(drained)
+		for u := range ch {
+			fn(u)
+		}
+	}()
+	points, err := ParallelSweep(base, env, opts)
+	close(ch)
+	<-drained
+	return points, err
+}
+
+// Fig8AggTable renders the replicated mean end-to-end delay table (paper
+// Fig. 8) with 95% confidence intervals across replications.
+func Fig8AggTable(points []AggregatePoint) string {
+	return aggTable(points, "Fig 8: mean end-to-end delay [s] (mean ± 95% CI)",
+		func(a *Aggregate) string {
+			return fmt.Sprintf("%7.1f ±%5.1f", a.MeanDelayS.Mean(), a.MeanDelayS.CI95())
+		})
+}
+
+// Fig9AggTable renders replicated total throughput (paper Fig. 9).
+func Fig9AggTable(points []AggregatePoint) string {
+	return aggTable(points, "Fig 9: total throughput [messages delivered] (mean ± 95% CI)",
+		func(a *Aggregate) string {
+			return fmt.Sprintf("%7.0f ±%5.0f", a.Delivered.Mean(), a.Delivered.CI95())
+		})
+}
+
+// Fig12AggTable renders the replicated mean hop count (paper Fig. 12).
+func Fig12AggTable(points []AggregatePoint) string {
+	return aggTable(points, "Fig 12: mean hops per delivered message (mean ± 95% CI)",
+		func(a *Aggregate) string {
+			return fmt.Sprintf("%6.2f ±%5.2f", a.MeanHops.Mean(), a.MeanHops.CI95())
+		})
+}
+
+// Fig13AggTable renders the replicated per-node message overhead (paper
+// Fig. 13).
+func Fig13AggTable(points []AggregatePoint) string {
+	return aggTable(points, "Fig 13: mean messages sent per node (mean ± 95% CI)",
+		func(a *Aggregate) string {
+			return fmt.Sprintf("%7.1f ±%5.1f", a.SendsPerNode.Mean(), a.SendsPerNode.CI95())
+		})
+}
+
+// OverheadRatiosAgg returns, per gateway count, each forwarding scheme's
+// replication-mean message-send overhead relative to NoRouting (the paper
+// reports 1.6–2.2×).
+func OverheadRatiosAgg(points []AggregatePoint) map[int]map[routing.Scheme]float64 {
+	base := map[int]float64{}
+	for _, p := range points {
+		if p.Scheme == routing.SchemeNoRouting {
+			base[p.Gateways] = p.Agg.SendsPerNode.Mean()
+		}
+	}
+	out := map[int]map[routing.Scheme]float64{}
+	for _, p := range points {
+		if p.Scheme == routing.SchemeNoRouting {
+			continue
+		}
+		b := base[p.Gateways]
+		if b <= 0 {
+			continue
+		}
+		if out[p.Gateways] == nil {
+			out[p.Gateways] = map[routing.Scheme]float64{}
+		}
+		out[p.Gateways][p.Scheme] = p.Agg.SendsPerNode.Mean() / b
+	}
+	return out
+}
+
+// aggTable renders a gateways × schemes grid of aggregate cells.
+func aggTable(points []AggregatePoint, title string, cell func(*Aggregate) string) string {
+	byKey := map[[2]int]*Aggregate{}
+	gwSet := map[int]bool{}
+	var env Environment
+	reps := 0
+	for _, p := range points {
+		byKey[[2]int{p.Gateways, int(p.Scheme)}] = p.Agg
+		gwSet[p.Gateways] = true
+		env = p.Environment
+		if p.Agg != nil && p.Agg.Reps > reps {
+			reps = p.Agg.Reps
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s environment, %d rep(s)\n", title, env, reps)
+	fmt.Fprintf(&b, "%-18s", "gateways (paper)")
+	for _, s := range Schemes() {
+		fmt.Fprintf(&b, " | %16s", s)
+	}
+	b.WriteByte('\n')
+	for _, g := range GatewaySweep() {
+		if !gwSet[g] {
+			continue
+		}
+		fmt.Fprintf(&b, "%3d (%3d)         ", g, PaperEquivalentGateways(g))
+		for _, s := range Schemes() {
+			a := byKey[[2]int{g, int(s)}]
+			if a == nil {
+				fmt.Fprintf(&b, " | %16s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " | %16s", cell(a))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

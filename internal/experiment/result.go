@@ -162,6 +162,68 @@ func (r *Result) String() string {
 		r.Hops.Mean(), r.MsgSendsPerNode.Mean())
 }
 
+// Aggregate collapses the Results of replicated runs (same scenario,
+// different seeds) into cross-replication statistics. Each Summary field
+// holds one scalar per replication, so Mean() is the replication mean and
+// CI95() the half-width of the 95% confidence interval — the error bars a
+// multi-seed figure reports instead of one-seed point estimates.
+type Aggregate struct {
+	// Reps is the number of replications aggregated.
+	Reps int
+
+	// Delivered summarises per-replication delivered-message counts
+	// (Fig. 9's quantity).
+	Delivered stats.Summary
+	// DeliveryPct summarises per-replication delivery ratios in percent.
+	DeliveryPct stats.Summary
+	// MeanDelayS summarises per-replication mean end-to-end delays in
+	// seconds (Fig. 8's quantity).
+	MeanDelayS stats.Summary
+	// MeanHops summarises per-replication mean hop counts (Fig. 12).
+	MeanHops stats.Summary
+	// MaxHops summarises per-replication maximum hop counts.
+	MaxHops stats.Summary
+	// SendsPerNode summarises per-replication mean message sends per node
+	// (Fig. 13's energy-overhead proxy).
+	SendsPerNode stats.Summary
+	// QueueDrops summarises per-replication queue-drop counts.
+	QueueDrops stats.Summary
+	// Collisions summarises per-replication channel collision counts.
+	Collisions stats.Summary
+}
+
+// AggregateResults collapses replicated runs into an Aggregate. Replications
+// are folded in slice order, so the same Results always produce the same
+// Aggregate bit for bit. Nil entries are skipped.
+func AggregateResults(reps []*Result) *Aggregate {
+	a := &Aggregate{}
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		a.Reps++
+		a.Delivered.Add(float64(r.Delivered))
+		a.DeliveryPct.Add(100 * r.DeliveryRatio())
+		a.MeanDelayS.Add(r.Delay.Mean())
+		a.MeanHops.Add(r.Hops.Mean())
+		a.MaxHops.Add(r.Hops.Max())
+		a.SendsPerNode.Add(r.MsgSendsPerNode.Mean())
+		a.QueueDrops.Add(float64(r.QueueDrops))
+		a.Collisions.Add(float64(r.Medium.Collisions))
+	}
+	return a
+}
+
+// String renders a one-line "metric mean ±CI" summary of the aggregate.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("reps=%d: delivered %.0f ±%.0f, delay %.1f ±%.1fs, hops %.2f ±%.2f, sends/node %.1f ±%.1f",
+		a.Reps,
+		a.Delivered.Mean(), a.Delivered.CI95(),
+		a.MeanDelayS.Mean(), a.MeanDelayS.CI95(),
+		a.MeanHops.Mean(), a.MeanHops.CI95(),
+		a.SendsPerNode.Mean(), a.SendsPerNode.CI95())
+}
+
 // Report renders a multi-line human-readable report.
 func (r *Result) Report() string {
 	var b strings.Builder

@@ -37,24 +37,21 @@ type SweepPoint struct {
 // SweepFigures runs the full Fig. 8/9/12/13 grid: every scheme × gateway
 // count for the given environment. The base config supplies scale and seed;
 // progress, if non-nil, receives one line per completed run.
+//
+// It is a thin serial wrapper around ParallelSweep: one worker, one
+// replication per cell, progress lines in figure order.
 func SweepFigures(base Config, env Environment, progress func(string)) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, gw := range GatewaySweep() {
-		for _, scheme := range Schemes() {
-			cfg := base
-			cfg.Environment = env
-			cfg.D2DRangeM = 0 // re-derive from environment
-			cfg.NumGateways = gw
-			cfg.Scheme = scheme
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %v/%v/gw=%d: %w", env, scheme, gw, err)
-			}
-			out = append(out, SweepPoint{Environment: env, Scheme: scheme, Gateways: gw, Result: res})
-			if progress != nil {
-				progress(res.String())
-			}
-		}
+	var fn func(CellUpdate)
+	if progress != nil {
+		fn = func(u CellUpdate) { progress(u.Result.String()) }
+	}
+	cells, err := ParallelSweepFunc(base, env, SweepOptions{Workers: 1, Reps: 1}, fn)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(cells))
+	for i, c := range cells {
+		out[i] = SweepPoint{Environment: c.Environment, Scheme: c.Scheme, Gateways: c.Gateways, Result: c.Reps[0]}
 	}
 	return out, nil
 }

@@ -68,6 +68,36 @@ func (s *Summary) StdErr() float64 {
 	return s.Stddev() / math.Sqrt(float64(s.n))
 }
 
+// tCrit95 holds two-sided Student-t critical values at 95% confidence for
+// 1–30 degrees of freedom; beyond that the normal 1.96 is close enough.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided Student-t critical value at 95%
+// confidence for df degrees of freedom (0 for df < 1).
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.960
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean,
+// using the Student-t distribution so small replication counts widen the
+// interval honestly. It is 0 with fewer than two observations.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return TCritical95(int(s.n-1)) * s.StdErr()
+}
+
 // Min returns the smallest observation (0 when empty).
 func (s *Summary) Min() float64 {
 	if s.n == 0 {

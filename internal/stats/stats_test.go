@@ -221,3 +221,50 @@ func TestQuickHistogramConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{-1, 0}, {0, 0}, {1, 12.706}, {2, 4.303}, {9, 2.262}, {30, 2.042}, {31, 1.960}, {1000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Errorf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// The table must shrink monotonically toward the normal limit.
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		v := TCritical95(df)
+		if v > prev || v < 1.96 {
+			t.Fatalf("TCritical95(%d) = %v breaks monotone decay to 1.96", df, v)
+		}
+		prev = v
+	}
+}
+
+func TestSummaryCI95(t *testing.T) {
+	var s Summary
+	if s.CI95() != 0 {
+		t.Fatal("empty summary CI not 0")
+	}
+	s.Add(5)
+	if s.CI95() != 0 {
+		t.Fatal("single-sample CI not 0")
+	}
+	s.Add(7)
+	// n=2: CI = t(1) * stderr = 12.706 * (sqrt(2)/sqrt(2)) = 12.706.
+	if got := s.CI95(); math.Abs(got-12.706) > 1e-9 {
+		t.Fatalf("two-sample CI = %v, want 12.706", got)
+	}
+	// Many identical samples: zero spread, zero CI.
+	var z Summary
+	for i := 0; i < 100; i++ {
+		z.Add(3)
+	}
+	if z.CI95() != 0 {
+		t.Fatalf("zero-variance CI = %v, want 0", z.CI95())
+	}
+}

@@ -95,10 +95,47 @@ func QuickConfig() Config { return experiment.QuickConfig() }
 // Run executes one scenario.
 func Run(cfg Config) (*Result, error) { return experiment.Run(cfg) }
 
-// SweepFigures runs the Fig. 8/9/12/13 grid for one environment.
+// SweepFigures runs the Fig. 8/9/12/13 grid for one environment, serially
+// with a single seed. For parallel, replicated sweeps use ParallelSweep.
 func SweepFigures(base Config, env Environment, progress func(string)) ([]SweepPoint, error) {
 	return experiment.SweepFigures(base, env, progress)
 }
+
+// SweepOptions configures ParallelSweep: worker-pool size, replications per
+// cell, and an optional streamed-progress channel.
+type SweepOptions = experiment.SweepOptions
+
+// CellUpdate is one completed replication streamed during a ParallelSweep.
+type CellUpdate = experiment.CellUpdate
+
+// AggregatePoint is one sweep cell with per-replication Results and their
+// cross-replication Aggregate.
+type AggregatePoint = experiment.AggregatePoint
+
+// Aggregate holds cross-replication statistics (mean ± 95% CI per metric).
+type Aggregate = experiment.Aggregate
+
+// ParallelSweep runs the figure grid across a worker pool with multi-seed
+// replication, collapsing each cell into mean ± 95% CI aggregates in
+// deterministic figure order.
+func ParallelSweep(base Config, env Environment, opts SweepOptions) ([]AggregatePoint, error) {
+	return experiment.ParallelSweep(base, env, opts)
+}
+
+// RepSeed derives the seed of replication rep from a base seed
+// (replication 0 reuses the base seed).
+func RepSeed(base uint64, rep int) uint64 { return experiment.RepSeed(base, rep) }
+
+// AggregateResults collapses replicated run Results into an Aggregate.
+func AggregateResults(reps []*Result) *Aggregate { return experiment.AggregateResults(reps) }
+
+// Fig8AggTable, Fig9AggTable, Fig12AggTable and Fig13AggTable render
+// replicated sweep results as the paper tables with 95% confidence
+// intervals.
+func Fig8AggTable(points []AggregatePoint) string  { return experiment.Fig8AggTable(points) }
+func Fig9AggTable(points []AggregatePoint) string  { return experiment.Fig9AggTable(points) }
+func Fig12AggTable(points []AggregatePoint) string { return experiment.Fig12AggTable(points) }
+func Fig13AggTable(points []AggregatePoint) string { return experiment.Fig13AggTable(points) }
 
 // GatewaySweep returns the gateway counts used by the figure sweeps.
 func GatewaySweep() []int { return experiment.GatewaySweep() }
