@@ -7,12 +7,19 @@
 // replicate every cell across derived seeds (-reps), reporting each metric
 // as mean ± 95% confidence interval instead of a one-seed point estimate.
 //
+// Beyond the paper's figures, the scenario engine adds -scenario (run any
+// figure under random-waypoint or sensor-grid mobility instead of the bus
+// timetable) and -fig resilience (the outage sweep: delivery ratio per
+// scheme as a growing fraction of gateways goes down).
+//
 // Usage:
 //
 //	expsweep -fig 8 -env urban         # one figure, one environment
 //	expsweep -fig all                  # everything (long)
 //	expsweep -fig 8 -quick             # reduced scale for a fast look
 //	expsweep -fig 8 -parallel 8 -reps 5   # replicated parallel sweep
+//	expsweep -fig 9 -scenario randomwaypoint   # non-timetabled mobility
+//	expsweep -fig resilience -quick    # gateway-outage resilience table
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 
 	"mlorass"
 	"mlorass/internal/experiment"
+	"mlorass/internal/gwplan"
 	"mlorass/internal/routing"
 )
 
@@ -37,13 +45,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("expsweep", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | ablations | all")
+		fig      = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | resilience | ablations | all")
 		envName  = fs.String("env", "both", "environment: urban | rural | both")
 		seed     = fs.Uint64("seed", 1, "random seed (replications derive theirs from it)")
 		quick    = fs.Bool("quick", false, "reduced scale (shorter horizon, smaller fleet)")
 		quiet    = fs.Bool("quiet", false, "suppress per-run progress lines")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the figure sweeps (figs 8/9/12/13)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the figure sweeps (figs 8/9/12/13, resilience)")
 		reps     = fs.Int("reps", 1, "replications per sweep cell (figs 8/9/12/13); tables report mean ± 95% CI")
+		scenario = fs.String("scenario", "buses", "mobility scenario: buses | randomwaypoint | sensorgrid")
+		nodes    = fs.Int("nodes", 0, "node count for the randomwaypoint/sensorgrid scenarios (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +67,21 @@ func run(args []string) error {
 		base = experiment.QuickConfig()
 	}
 	base.Seed = *seed
+	model, err := experiment.ParseMobilityModel(*scenario)
+	if err != nil {
+		return err
+	}
+	base.Mobility.Model = model
+	base.Mobility.NumNodes = *nodes
+	if model == experiment.MobilityBuses && *nodes != 0 {
+		return fmt.Errorf("-nodes applies to the randomwaypoint/sensorgrid scenarios; the %s fleet is sized by the timetable", model)
+	}
+	if model != experiment.MobilityBuses && base.GatewayStrategy == gwplan.RouteAware {
+		return fmt.Errorf("-scenario %s cannot use route-aware gateway placement", model)
+	}
+	if *fig == "7" && model != experiment.MobilityBuses {
+		return fmt.Errorf("fig 7 charts the bus timetable's statistics; run it with -scenario buses")
+	}
 
 	envs, err := parseEnvs(*envName)
 	if err != nil {
@@ -83,11 +108,18 @@ func run(args []string) error {
 		return series(base, experiment.Urban)
 	case "11":
 		return series(base, experiment.Rural)
+	case "resilience":
+		return sw.resilience(base, envs)
 	case "ablations":
+		if model != experiment.MobilityBuses {
+			return fmt.Errorf("the placement ablation needs the bus timetable; run -fig ablations with -scenario buses")
+		}
 		return ablations(base)
 	case "all":
-		if err := fig7(base); err != nil {
-			return err
+		if model == experiment.MobilityBuses {
+			if err := fig7(base); err != nil {
+				return err
+			}
 		}
 		if err := sw.sweepFig(base, envs); err != nil {
 			return err
@@ -97,6 +129,14 @@ func run(args []string) error {
 		}
 		if err := series(base, experiment.Rural); err != nil {
 			return err
+		}
+		if err := sw.resilience(base, envs); err != nil {
+			return err
+		}
+		if model != experiment.MobilityBuses {
+			// Fig 7 and the placement ablation are timetable artefacts.
+			fmt.Fprintf(os.Stderr, "expsweep: note: skipping fig 7 and ablations under -scenario %s (bus-timetable artefacts)\n", model)
+			return nil
 		}
 		return ablations(base)
 	default:
@@ -172,6 +212,23 @@ func (sw sweeper) sweepFig(base experiment.Config, envs []experiment.Environment
 			}
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// resilience runs the outage sweep: delivery ratio per scheme as a growing
+// fraction of gateways goes down for one outage window each.
+func (sw sweeper) resilience(base experiment.Config, envs []experiment.Environment) error {
+	for _, env := range envs {
+		var fn func(string)
+		if !sw.quiet {
+			fn = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+		}
+		points, err := experiment.OutageSweep(base, env, sw.workers, fn)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.OutageTable(points))
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"mlorass/internal/disruption"
 	"mlorass/internal/geo"
 	"mlorass/internal/gwplan"
 	"mlorass/internal/lorawan"
@@ -76,6 +77,18 @@ type Config struct {
 	NumGateways int
 	// GatewayStrategy places gateways (grid by default).
 	GatewayStrategy gwplan.Strategy
+
+	// Mobility selects and parameterises the movement scenario. The zero
+	// value is the paper's timetabled bus fleet (sized by the dataset
+	// fields below); MobilityRandomWaypoint and MobilitySensorGrid open
+	// non-timetabled and static duty-cycled workloads.
+	Mobility MobilityConfig
+
+	// Disruption schedules gateway outage/recovery windows and permanent
+	// mid-run device churn on the simulation timeline. The zero value
+	// keeps every gateway up and every device alive for the whole run —
+	// the paper's setting.
+	Disruption disruption.Config
 
 	// Mobility scale: the synthetic TFL dataset parameters. Either supply
 	// a Dataset directly or let Run generate one from NumRoutes and
@@ -219,6 +232,27 @@ func (c *Config) Normalize() {
 	if c.ThroughputBin == 0 {
 		c.ThroughputBin = def.ThroughputBin
 	}
+	if c.Mobility.Model != MobilityBuses {
+		dm := defaultMobility()
+		if c.Mobility.NumNodes == 0 {
+			c.Mobility.NumNodes = dm.NumNodes
+		}
+		if c.Mobility.SpeedMinMPS == 0 {
+			c.Mobility.SpeedMinMPS = dm.SpeedMinMPS
+		}
+		if c.Mobility.SpeedMaxMPS == 0 {
+			c.Mobility.SpeedMaxMPS = dm.SpeedMaxMPS
+		}
+		if c.Mobility.PauseMax == 0 {
+			c.Mobility.PauseMax = dm.PauseMax
+		}
+		if c.Mobility.OnWindow == 0 {
+			c.Mobility.OnWindow = dm.OnWindow
+		}
+		if c.Mobility.Period == 0 {
+			c.Mobility.Period = dm.Period
+		}
+	}
 }
 
 // Validate reports configuration errors. Call Normalize first.
@@ -264,6 +298,23 @@ func (c *Config) Validate() error {
 	}
 	if c.ThroughputBin <= 0 {
 		return fmt.Errorf("experiment: throughput bin %v must be positive", c.ThroughputBin)
+	}
+	if !c.Mobility.Model.Valid() {
+		return fmt.Errorf("experiment: invalid mobility model %d", int(c.Mobility.Model))
+	}
+	if c.Mobility.Model != MobilityBuses {
+		if c.Dataset != nil {
+			return fmt.Errorf("experiment: Dataset only applies to the %v model, not %v", MobilityBuses, c.Mobility.Model)
+		}
+		if c.GatewayStrategy == gwplan.RouteAware {
+			return fmt.Errorf("experiment: route-aware gateway placement needs the %v model, got %v", MobilityBuses, c.Mobility.Model)
+		}
+		if c.Mobility.NumNodes <= 0 {
+			return fmt.Errorf("experiment: Mobility.NumNodes %d must be positive", c.Mobility.NumNodes)
+		}
+	}
+	if err := c.Disruption.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files were captured from the pre-scenario-engine tree, so these
+// tests prove the mobility/disruption refactor left the paper-default
+// simulation byte-identical: same Report() text, same figure tables, for the
+// same seed. Regenerate deliberately with `go test -run Golden -update`.
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenQuickReports locks Result.Report() for QuickConfig at seed 1
+// across all three schemes: determinism or formatting regressions fail here
+// before they corrupt a figure.
+func TestGoldenQuickReports(t *testing.T) {
+	var rep string
+	for _, scheme := range Schemes() {
+		cfg := QuickConfig()
+		cfg.Seed = 1
+		cfg.Scheme = scheme
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep += res.Report()
+	}
+	goldenCompare(t, "report_quick_seed1.golden", rep)
+}
+
+// TestGoldenFigTables locks the Fig8/9/12/13 table output for a QuickConfig
+// sweep subset (gateway counts 10 and 15, all schemes) at seed 1.
+func TestGoldenFigTables(t *testing.T) {
+	var points []SweepPoint
+	for _, gw := range []int{10, 15} {
+		for _, scheme := range Schemes() {
+			cfg := QuickConfig()
+			cfg.Seed = 1
+			cfg.Scheme = scheme
+			cfg.NumGateways = gw
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			points = append(points, SweepPoint{
+				Environment: cfg.Environment, Scheme: scheme, Gateways: gw, Result: res,
+			})
+		}
+	}
+	tables := fmt.Sprintf("%s\n%s\n%s\n%s",
+		Fig8Table(points), Fig9Table(points), Fig12Table(points), Fig13Table(points))
+	goldenCompare(t, "fig_tables_quick.golden", tables)
+}

@@ -77,11 +77,72 @@ type sweepJob struct {
 	cfg  Config
 }
 
-// sweepDone is one finished job travelling from a worker to the collector.
-type sweepDone struct {
-	job sweepJob
-	res *Result
-	err error
+// runPool executes jobs 0..n-1 across a pool of workers (values < 1 mean
+// GOMAXPROCS). run is called concurrently; every successful result is handed
+// to onDone from the single collector goroutine, in completion order. Once
+// any job fails the remaining jobs are skipped, and the lowest-index failure
+// is reported as (index, error) so a failing sweep names the same job no
+// matter how completions interleave; full success returns (-1, nil). Both
+// figure and resilience sweeps run on this pool.
+func runPool(n, workers int, run func(i int) (*Result, error), onDone func(i int, res *Result)) (int, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	type done struct {
+		idx int
+		res *Result
+		err error
+	}
+	jobCh := make(chan int)
+	doneCh := make(chan done)
+	var (
+		failed atomic.Bool // workers skip remaining jobs once set
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				if failed.Load() {
+					doneCh <- done{idx: i}
+					continue
+				}
+				res, err := run(i)
+				doneCh <- done{idx: i, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobCh <- i
+		}
+		close(jobCh)
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	firstErrIdx, firstErr := n, error(nil)
+	for d := range doneCh {
+		if d.err != nil {
+			failed.Store(true)
+			if d.idx < firstErrIdx {
+				firstErrIdx, firstErr = d.idx, d.err
+			}
+			continue
+		}
+		if d.res == nil {
+			continue // skipped after a failure elsewhere
+		}
+		onDone(d.idx, d.res)
+	}
+	if firstErr != nil {
+		return firstErrIdx, firstErr
+	}
+	return -1, nil
 }
 
 // ParallelSweep runs the full figure grid — every scheme × gateway count for
@@ -131,80 +192,34 @@ func ParallelSweep(base Config, env Environment, opts SweepOptions) ([]Aggregate
 			}
 		}
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	jobCh := make(chan sweepJob)
-	doneCh := make(chan sweepDone)
-	var (
-		failed atomic.Bool // workers skip remaining jobs once set
-		wg     sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				if failed.Load() {
-					doneCh <- sweepDone{job: j}
-					continue
+	// The collector slots results and streams progress; runPool keeps the
+	// lowest-index error so a failing sweep reports the same cell no
+	// matter how completions interleave.
+	completed := 0
+	ji, err := runPool(len(jobs), workers,
+		func(i int) (*Result, error) { return Run(jobs[i].cfg) },
+		func(i int, res *Result) {
+			j := jobs[i]
+			cells[j.cell].Reps[j.rep] = res
+			completed++
+			if opts.Progress != nil {
+				c := cells[j.cell]
+				opts.Progress <- CellUpdate{
+					Environment: c.Environment,
+					Scheme:      c.Scheme,
+					Gateways:    c.Gateways,
+					Rep:         j.rep,
+					Seed:        c.Seeds[j.rep],
+					Result:      res,
+					Completed:   completed,
+					Total:       len(jobs),
 				}
-				res, err := Run(j.cfg)
-				doneCh <- sweepDone{job: j, res: res, err: err}
 			}
-		}()
-	}
-	go func() {
-		for _, j := range jobs {
-			jobCh <- j
-		}
-		close(jobCh)
-		wg.Wait()
-		close(doneCh)
-	}()
-
-	// Collect every job from this single goroutine: slotting results,
-	// streaming progress, and keeping the lowest-index error so a failing
-	// sweep reports the same cell no matter how completions interleave.
-	var (
-		firstErr    error
-		firstErrJob = len(jobs)
-		completed   int
-	)
-	for d := range doneCh {
-		if d.err != nil {
-			failed.Store(true)
-			ji := d.job.cell*reps + d.job.rep
-			if ji < firstErrJob {
-				firstErrJob = ji
-				c := cells[d.job.cell]
-				firstErr = fmt.Errorf("sweep %v/%v/gw=%d rep=%d: %w",
-					c.Environment, c.Scheme, c.Gateways, d.job.rep, d.err)
-			}
-			continue
-		}
-		if d.res == nil {
-			continue // skipped after a failure elsewhere
-		}
-		cells[d.job.cell].Reps[d.job.rep] = d.res
-		completed++
-		if opts.Progress != nil {
-			c := cells[d.job.cell]
-			opts.Progress <- CellUpdate{
-				Environment: c.Environment,
-				Scheme:      c.Scheme,
-				Gateways:    c.Gateways,
-				Rep:         d.job.rep,
-				Seed:        c.Seeds[d.job.rep],
-				Result:      d.res,
-				Completed:   completed,
-				Total:       len(jobs),
-			}
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		})
+	if err != nil {
+		c := cells[jobs[ji].cell]
+		return nil, fmt.Errorf("sweep %v/%v/gw=%d rep=%d: %w",
+			c.Environment, c.Scheme, c.Gateways, jobs[ji].rep, err)
 	}
 	for i := range cells {
 		cells[i].Agg = AggregateResults(cells[i].Reps)

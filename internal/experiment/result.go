@@ -61,6 +61,13 @@ type Result struct {
 	// them).
 	HandoverLostMsgs uint64
 
+	// GatewayOutageWindows counts the disruption layer's scheduled
+	// gateway downtime windows (0 when disruption is off).
+	GatewayOutageWindows int
+	// DeviceFailures counts devices permanently churned out mid-run by
+	// the disruption layer.
+	DeviceFailures int
+
 	// DirectDelay and RelayedDelay split the delivered-message delays by
 	// whether the message ever hopped device-to-device.
 	DirectDelay  stats.Summary
@@ -116,6 +123,8 @@ func (s *sim) collect() *Result {
 	r.HandoverSuccesses = s.handoverSuccesses
 	r.HandoverMsgs = s.handoverMsgs
 	r.HandoverLostMsgs = s.handoverLostMsgs
+	r.GatewayOutageWindows = s.gatewayOutageWindows
+	r.DeviceFailures = s.deviceFailures
 	for _, del := range s.server.Deliveries() {
 		r.Delay.AddDuration(del.Delay())
 		r.rawDelays = append(r.rawDelays, del.Delay().Seconds())
@@ -243,5 +252,14 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "  handovers: %d/%d ok, %d msgs moved, %d msgs lost\n", r.HandoverSuccesses, r.HandoverAttempts, r.HandoverMsgs, r.HandoverLostMsgs)
 	fmt.Fprintf(&b, "  delay direct %.0fs (n=%d) vs relayed %.0fs (n=%d)\n",
 		r.DirectDelay.Mean(), r.DirectDelay.N(), r.RelayedDelay.Mean(), r.RelayedDelay.N())
+	// Disruption lines appear only for disrupted runs so paper-default
+	// reports stay byte-identical to the pre-scenario-engine output.
+	if r.Config.Disruption.Enabled() {
+		fmt.Fprintf(&b, "  disruption: %d gateway outage windows, %d device failures\n",
+			r.GatewayOutageWindows, r.DeviceFailures)
+	}
+	if r.Config.Mobility.Model != MobilityBuses {
+		fmt.Fprintf(&b, "  mobility: %s (%d nodes)\n", r.Config.Mobility.Model, r.Config.Mobility.NumNodes)
+	}
 	return b.String()
 }

@@ -1,0 +1,249 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mlorass/internal/gwplan"
+	"mlorass/internal/routing"
+)
+
+// tinyScenario returns a fast non-bus scenario config.
+func tinyScenario(model MobilityModel) Config {
+	cfg := tinyConfig()
+	cfg.Scheme = routing.SchemeROBC
+	cfg.Mobility.Model = model
+	cfg.Mobility.NumNodes = 40
+	return cfg
+}
+
+func runScenario(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRandomWaypointScenarioRuns(t *testing.T) {
+	res := runScenario(t, tinyScenario(MobilityRandomWaypoint))
+	if res.ActiveDevices != 40 {
+		t.Fatalf("active devices %d, want all 40 (random-waypoint vehicles never rest)", res.ActiveDevices)
+	}
+	if res.Generated == 0 || res.Delivered == 0 {
+		t.Fatalf("random waypoint generated %d / delivered %d", res.Generated, res.Delivered)
+	}
+}
+
+func TestSensorGridScenarioRuns(t *testing.T) {
+	cfg := tinyScenario(MobilitySensorGrid)
+	res := runScenario(t, cfg)
+	if res.Generated == 0 || res.Delivered == 0 {
+		t.Fatalf("sensor grid generated %d / delivered %d", res.Generated, res.Delivered)
+	}
+	// Duty-cycled sensors are awake OnWindow/Period of the time, so they
+	// must generate far fewer messages than an always-on population would.
+	slots := uint64(cfg.Duration / cfg.MsgInterval)
+	alwaysOn := uint64(cfg.Mobility.NumNodes) * slots
+	if res.Generated*2 > alwaysOn {
+		t.Fatalf("duty-cycled sensors generated %d of an always-on %d", res.Generated, alwaysOn)
+	}
+}
+
+// TestSensorGridForwardingHappens exercises the overhear candidate plumbing
+// under the hardest scenario for it — duty-cycled sensors flickering across
+// index rebuilds while churn triggers active-list compactions — and requires
+// that device-to-device forwarding still occurs.
+func TestSensorGridForwardingHappens(t *testing.T) {
+	cfg := tinyScenario(MobilitySensorGrid)
+	// 150 nodes on a 5 km square puts grid neighbours ~385 m apart, inside
+	// the 500 m urban d2d range; fewer would leave every pair out of reach.
+	cfg.Mobility.NumNodes = 150
+	cfg.Mobility.OnWindow = 30 * time.Minute
+	cfg.NumGateways = 1
+	cfg.Disruption.DeviceChurnFraction = 0.6 // force compactions mid-run
+	res := runScenario(t, cfg)
+	if res.HandoverAttempts == 0 {
+		t.Fatal("no handover attempts in a dense duty-cycled grid: asleep sensors likely dropped from the candidate pool")
+	}
+}
+
+// TestCrossModelDeterminism verifies the bit-identical-Result guarantee for
+// each new mobility model and for disruption-enabled runs: same seed, same
+// Report, same channel counters.
+func TestCrossModelDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"randomwaypoint", func() Config { return tinyScenario(MobilityRandomWaypoint) }},
+		{"sensorgrid", func() Config { return tinyScenario(MobilitySensorGrid) }},
+		{"disruption-buses", func() Config {
+			cfg := tinyConfig()
+			cfg.Scheme = routing.SchemeROBC
+			cfg.Disruption.GatewayOutageFraction = 0.5
+			cfg.Disruption.DeviceChurnFraction = 0.25
+			return cfg
+		}},
+		{"disruption-randomwaypoint", func() Config {
+			cfg := tinyScenario(MobilityRandomWaypoint)
+			cfg.Disruption.GatewayOutageFraction = 0.4
+			cfg.Disruption.DeviceChurnFraction = 0.2
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := runScenario(t, tc.cfg())
+			b := runScenario(t, tc.cfg())
+			if a.Report() != b.Report() {
+				t.Fatalf("same seed, different reports:\n%s\nvs\n%s", a.Report(), b.Report())
+			}
+			if a.Medium.Transmissions != b.Medium.Transmissions ||
+				a.Medium.Collisions != b.Medium.Collisions ||
+				a.Generated != b.Generated || a.Delivered != b.Delivered {
+				t.Fatalf("same seed, different counters: %+v vs %+v", a.Medium, b.Medium)
+			}
+		})
+	}
+}
+
+func TestScenarioSeedSensitivity(t *testing.T) {
+	for _, model := range []MobilityModel{MobilityRandomWaypoint, MobilitySensorGrid} {
+		cfg := tinyScenario(model)
+		a := runScenario(t, cfg)
+		cfg.Seed = 99
+		b := runScenario(t, cfg)
+		if a.Generated == b.Generated && a.Delivered == b.Delivered && a.Delay.Mean() == b.Delay.Mean() {
+			t.Errorf("%v: different seeds produced identical results", model)
+		}
+	}
+}
+
+func TestGatewayOutagesReduceDelivery(t *testing.T) {
+	base := tinyConfig()
+	healthy := runScenario(t, base)
+
+	cfg := tinyConfig()
+	cfg.Disruption.GatewayOutageFraction = 1
+	cfg.Disruption.OutageDuration = cfg.Duration // every gateway down all run
+	down := runScenario(t, cfg)
+	if down.GatewayOutageWindows != cfg.NumGateways {
+		t.Fatalf("outage windows %d, want one per gateway (%d)", down.GatewayOutageWindows, cfg.NumGateways)
+	}
+	if down.Delivered != 0 {
+		t.Fatalf("delivered %d with every gateway down all run", down.Delivered)
+	}
+	if healthy.Delivered == 0 {
+		t.Fatal("healthy baseline delivered nothing")
+	}
+}
+
+func TestDeviceChurnKillsDevices(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scheme = routing.SchemeROBC
+	cfg.Disruption.DeviceChurnFraction = 0.5
+	res := runScenario(t, cfg)
+	if res.DeviceFailures == 0 {
+		t.Fatal("no device failures scheduled at 50% churn")
+	}
+	baseline := runScenario(t, tinyConfig())
+	if res.Generated >= baseline.Generated {
+		t.Fatalf("churned run generated %d >= healthy %d", res.Generated, baseline.Generated)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"bad model", func(c *Config) { c.Mobility.Model = 99 }},
+		{"route-aware with rwp", func(c *Config) {
+			c.Mobility.Model = MobilityRandomWaypoint
+			c.GatewayStrategy = gwplan.RouteAware
+		}},
+		{"dataset with sensor grid", func(c *Config) {
+			c.Mobility.Model = MobilitySensorGrid
+			c.Dataset = lineDataset()
+		}},
+		{"outage fraction above 1", func(c *Config) { c.Disruption.GatewayOutageFraction = 1.5 }},
+		{"negative churn", func(c *Config) { c.Disruption.DeviceChurnFraction = -0.1 }},
+	}
+	for _, tc := range cases {
+		cfg := tinyConfig()
+		tc.mut(&cfg)
+		cfg.Normalize()
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseMobilityModel(t *testing.T) {
+	for in, want := range map[string]MobilityModel{
+		"":               MobilityBuses,
+		"buses":          MobilityBuses,
+		"randomwaypoint": MobilityRandomWaypoint,
+		"rwp":            MobilityRandomWaypoint,
+		"sensorgrid":     MobilitySensorGrid,
+	} {
+		got, err := ParseMobilityModel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMobilityModel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMobilityModel("teleport"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestMobilityNormalizeDefaults(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mobility.Model = MobilityRandomWaypoint
+	cfg.Normalize()
+	if cfg.Mobility.NumNodes == 0 || cfg.Mobility.SpeedMaxMPS == 0 || cfg.Mobility.Period == 0 {
+		t.Fatalf("mobility defaults not filled: %+v", cfg.Mobility)
+	}
+	// The bus model must not grow spurious knobs: zero stays zero.
+	bus := tinyConfig()
+	bus.Normalize()
+	if bus.Mobility != (MobilityConfig{}) {
+		t.Fatalf("bus mobility config mutated by Normalize: %+v", bus.Mobility)
+	}
+}
+
+// TestOutageSweepAndTable runs the resilience sweep at tiny scale and checks
+// the table renders every fraction row with delivery falling as outages grow.
+func TestOutageSweepAndTable(t *testing.T) {
+	base := tinyConfig()
+	base.Duration = time.Hour
+	base.Disruption.OutageDuration = time.Hour // downed gateways stay down
+	points, err := OutageSweep(base, Urban, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(OutageFractions())*len(Schemes()) {
+		t.Fatalf("sweep returned %d points", len(points))
+	}
+	byFrac := map[float64]int{}
+	for _, p := range points {
+		if p.Result == nil {
+			t.Fatalf("missing result for %v down=%.1f", p.Scheme, p.Fraction)
+		}
+		if p.Scheme == routing.SchemeNoRouting {
+			byFrac[p.Fraction] = p.Result.Delivered
+		}
+	}
+	if byFrac[0.8] >= byFrac[0] {
+		t.Errorf("delivery did not fall under outage: healthy %d vs 80%% down %d", byFrac[0], byFrac[0.8])
+	}
+	table := OutageTable(points)
+	for _, want := range []string{"Outage resilience", "0%", "80%", "NoRouting", "ROBC"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

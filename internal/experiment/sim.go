@@ -1,11 +1,11 @@
 package experiment
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
 	"mlorass/internal/core"
+	"mlorass/internal/disruption"
 	"mlorass/internal/eventsim"
 	"mlorass/internal/geo"
 	"mlorass/internal/gwplan"
@@ -16,13 +16,16 @@ import (
 	"mlorass/internal/rng"
 	"mlorass/internal/routing"
 	"mlorass/internal/stats"
-	"mlorass/internal/tfl"
 )
 
-// device is one LoRaWAN end-device riding one bus.
+// device is one LoRaWAN end-device riding one mobility node.
 type device struct {
-	id  int
-	bus *mobility.Bus
+	id   int
+	node mobility.Model
+
+	// failed marks a device permanently lost to mid-run churn (disruption
+	// layer): it stops generating, transmitting, and overhearing.
+	failed bool
 
 	queue  *lorawan.Queue
 	est    *core.GatewayEstimator
@@ -85,6 +88,13 @@ type sim struct {
 	activeDead int
 	ix         *devIndex
 
+	// gwUp tracks per-gateway availability; nil when the disruption layer
+	// is off (every gateway permanently up, the paper's setting).
+	gwUp []bool
+	// Disruption diagnostics.
+	gatewayOutageWindows int
+	deviceFailures       int
+
 	msgCounter uint64
 	generated  uint64
 	throughput *stats.TimeSeries
@@ -110,25 +120,19 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	ds := cfg.Dataset
-	if ds == nil {
-		gc := tfl.DefaultGenConfig(cfg.Seed, cfg.NumRoutes, cfg.PeakHeadway)
-		gc.Area = cfg.area()
-		var err error
-		ds, err = tfl.Generate(gc)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: dataset: %w", err)
-		}
-	}
-	fleet, err := mobility.NewFleet(ds)
+	fleet, ds, err := buildFleet(&cfg)
 	if err != nil {
 		return nil, err
+	}
+	area := cfg.area()
+	if ds != nil {
+		area = ds.Area
 	}
 	var gws []geo.Point
 	if cfg.GatewayStrategy == gwplan.RouteAware {
 		gws, err = gwplan.PlaceRouteAware(ds, cfg.NumGateways, cfg.GatewayRangeM)
 	} else {
-		gws, err = gwplan.Place(cfg.GatewayStrategy, ds.Area, cfg.NumGateways, cfg.Seed^0x9e37)
+		gws, err = gwplan.Place(cfg.GatewayStrategy, area, cfg.NumGateways, cfg.Seed^0x9e37)
 	}
 	if err != nil {
 		return nil, err
@@ -181,6 +185,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// The index's drift bound is the fleet's top speed, floored at the
+	// historical 11 m/s bus bound so legacy scenarios index identically.
+	idxSpeed := fleet.MaxSpeedMPS()
+	if idxSpeed < 11 {
+		idxSpeed = 11
+	}
 	s := &sim{
 		cfg:                cfg,
 		es:                 eventsim.New(),
@@ -195,7 +205,7 @@ func Run(cfg Config) (*Result, error) {
 		retry:              lorawan.DefaultRetryPolicy(),
 		contactCapacityPPS: cmaxPPS,
 		throughput:         throughput,
-		ix:                 newDevIndex(cfg.D2DRangeM, 30*time.Second, 11),
+		ix:                 newDevIndex(cfg.D2DRangeM, 30*time.Second, idxSpeed),
 		d2dShadow:          rng.New(cfg.Seed ^ 0x0d2d),
 	}
 
@@ -208,7 +218,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		d := &device{
 			id:             i,
-			bus:            fleet.Bus(i),
+			node:           fleet.Node(i),
 			queue:          lorawan.NewQueue(cfg.QueueMax),
 			est:            est,
 			duty:           lorawan.NewDutyGovernor(cfg.DutyCycle),
@@ -219,21 +229,21 @@ func Run(cfg Config) (*Result, error) {
 		}
 		s.devices[i] = d
 
-		trip := d.bus.Trip()
-		if trip.Start >= cfg.Duration {
+		start, end := d.node.Window()
+		if start >= cfg.Duration {
 			continue
 		}
 		// Stagger slots uniformly within the interval so the fleet's
 		// uplinks do not synchronise.
 		jitter := time.Duration(d.rnd.Uniform(0, cfg.MsgInterval.Seconds()) * float64(time.Second))
-		first := trip.Start + jitter
-		if first >= trip.End() || first >= cfg.Duration {
+		first := start + jitter
+		if first >= end || first >= cfg.Duration {
 			continue
 		}
-		if _, err := s.es.At(trip.Start, func(time.Duration) { s.activate(d) }); err != nil {
+		if _, err := s.es.At(start, func(time.Duration) { s.activate(d) }); err != nil {
 			return nil, err
 		}
-		if end := trip.End(); end < cfg.Duration {
+		if end < cfg.Duration {
 			if _, err := s.es.At(end, func(time.Duration) { s.deactivate(d) }); err != nil {
 				return nil, err
 			}
@@ -241,10 +251,59 @@ func Run(cfg Config) (*Result, error) {
 		s.scheduleTick(d, first)
 	}
 
+	if err := s.scheduleDisruption(); err != nil {
+		return nil, err
+	}
+
 	if err := s.es.RunUntil(cfg.Duration); err != nil {
 		return nil, err
 	}
 	return s.collect(), nil
+}
+
+// scheduleDisruption compiles the disruption plan and places its outage,
+// recovery, and churn events on the simulation timeline. A disabled config
+// schedules nothing, leaving the run untouched.
+func (s *sim) scheduleDisruption() error {
+	if !s.cfg.Disruption.Enabled() {
+		return nil
+	}
+	plan, err := disruption.Compile(s.cfg.Disruption, s.cfg.Seed^0xd15c, len(s.gws), len(s.devices), s.cfg.Duration)
+	if err != nil {
+		return err
+	}
+	s.gwUp = make([]bool, len(s.gws))
+	for i := range s.gwUp {
+		s.gwUp[i] = true
+	}
+	for gi, windows := range plan.GatewayOutages {
+		gi := gi
+		for _, w := range windows {
+			s.gatewayOutageWindows++
+			if _, err := s.es.At(w.Start, func(time.Duration) { s.gwUp[gi] = false }); err != nil {
+				return err
+			}
+			if w.End < s.cfg.Duration {
+				if _, err := s.es.At(w.End, func(time.Duration) { s.gwUp[gi] = true }); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for di, failAt := range plan.DeviceFailAt {
+		if failAt < 0 || failAt >= s.cfg.Duration {
+			continue
+		}
+		d := s.devices[di]
+		s.deviceFailures++
+		if _, err := s.es.At(failAt, func(time.Duration) {
+			d.failed = true
+			s.deactivate(d)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *sim) activate(d *device) {
@@ -255,9 +314,16 @@ func (s *sim) activate(d *device) {
 func (s *sim) deactivate(d *device) {
 	s.activeDead++
 	if s.activeDead*2 > len(s.activeList) {
+		now := s.es.Now()
 		kept := s.activeList[:0]
 		for _, id := range s.activeList {
-			if s.devices[id].bus.Active(s.es.Now()) {
+			z := s.devices[id]
+			// Keep every live device whose service window is still
+			// open, not just those instantaneously active: models may
+			// flicker within their window (duty-cycled sensors), and a
+			// node evicted here would never re-enter the list.
+			_, end := z.node.Window()
+			if !z.failed && now < end {
 				kept = append(kept, id)
 			}
 		}
@@ -268,10 +334,14 @@ func (s *sim) deactivate(d *device) {
 
 // scheduleTick arms the device's next Δt slot.
 func (s *sim) scheduleTick(d *device, at time.Duration) {
-	if at >= s.cfg.Duration || at >= d.bus.Trip().End() {
+	_, end := d.node.Window()
+	if at >= s.cfg.Duration || at >= end {
 		return
 	}
 	if _, err := s.es.At(at, func(now time.Duration) {
+		if d.failed {
+			return // churned device: the slot chain ends here
+		}
 		s.tick(d, now)
 		s.scheduleTick(d, now+s.cfg.MsgInterval)
 	}); err != nil {
@@ -284,7 +354,7 @@ func (s *sim) scheduleTick(d *device, at time.Duration) {
 // tick is one device slot: observe the estimator, account listening energy,
 // generate a message, and attempt an uplink (Sec. VII-A4/5).
 func (s *sim) tick(d *device, now time.Duration) {
-	if !d.bus.Active(now) {
+	if d.failed || !d.node.Active(now) {
 		return
 	}
 
@@ -330,7 +400,7 @@ func (s *sim) tick(d *device, now time.Duration) {
 // sink-addressed uplink. Either way every frame is a broadcast that gateways
 // and neighbours may receive.
 func (s *sim) tryUplink(d *device, now time.Duration) {
-	if d.busy || d.queue.Len() == 0 || !d.bus.Active(now) {
+	if d.busy || d.failed || d.queue.Len() == 0 || !d.node.Active(now) {
 		return
 	}
 	if !d.duty.CanSend(now) {
@@ -363,15 +433,19 @@ func (s *sim) tryUplink(d *device, now time.Duration) {
 // stillInRange reports whether the handover target is active and within the
 // device-to-device range.
 func (s *sim) stillInRange(d *device, dest int, now time.Duration) bool {
-	dpos, ok1 := d.bus.Position(now)
-	tpos, ok2 := s.devices[dest].bus.Position(now)
+	target := s.devices[dest]
+	if target.failed {
+		return false
+	}
+	dpos, ok1 := d.node.PositionAt(now)
+	tpos, ok2 := target.node.PositionAt(now)
 	return ok1 && ok2 && dpos.Dist(tpos) <= s.cfg.D2DRangeM
 }
 
 // transmit puts one frame on the air. dest is -1 for a sink-addressed uplink
 // or a device index for a device-to-device handover; count bounds the bundle.
 func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
-	pos, ok := d.bus.Position(now)
+	pos, ok := d.node.PositionAt(now)
 	if !ok {
 		return
 	}
@@ -485,6 +559,9 @@ func (s *sim) receiveAtGateways(tx *radio.Transmission) int {
 	var cands []cand
 	maxR := s.cfg.GatewayRangeM
 	for i, gp := range s.gws {
+		if s.gwUp != nil && !s.gwUp[i] {
+			continue // gateway inside an outage window
+		}
 		if d := tx.Pos.Dist(gp); d <= maxR {
 			cands = append(cands, cand{idx: i, dist: d})
 		}
@@ -509,8 +586,8 @@ func (s *sim) receiveAtGateways(tx *radio.Transmission) int {
 func (s *sim) resolveHandover(d *device, tx *radio.Transmission, frame lorawan.Frame, dest int, now time.Duration) {
 	s.handoverAttempts++
 	target := s.devices[dest]
-	tpos, ok := target.bus.Position(now)
-	received := ok && !target.busy && s.listening(target) &&
+	tpos, ok := target.node.PositionAt(now)
+	received := ok && !target.busy && !target.failed && s.listening(target) &&
 		tx.Pos.Dist(tpos) <= s.cfg.D2DRangeM
 	if !received {
 		// The handover missed: a collision at the target, the target
@@ -558,17 +635,27 @@ func (s *sim) overhear(sender *device, tx *radio.Transmission, frame lorawan.Fra
 	}
 	maxR := s.cfg.D2DRangeM
 	s.ix.refresh(now, s.activeList, func(id int) (geo.Point, bool) {
-		return s.devices[id].bus.Position(now)
+		z := s.devices[id]
+		if p, ok := z.node.PositionAt(now); ok {
+			return p, true
+		}
+		// A node asleep at rebuild time but with a known fixed position
+		// stays indexed: it may wake before the next rebuild, and the
+		// overhear loop re-checks live activity anyway.
+		if sm, ok := z.node.(mobility.StaticModel); ok && !z.failed {
+			return sm.FixedPosition(), true
+		}
+		return geo.Point{}, false
 	})
 	for _, zi := range s.ix.candidates(now, tx.Pos, maxR) {
 		if zi == sender.id || zi == dest {
 			continue
 		}
 		z := s.devices[zi]
-		if z.busy || z.queue.Len() == 0 {
+		if z.busy || z.failed || z.queue.Len() == 0 {
 			continue
 		}
-		zpos, ok := z.bus.Position(now)
+		zpos, ok := z.node.PositionAt(now)
 		if !ok || tx.Pos.Dist(zpos) > maxR {
 			continue
 		}

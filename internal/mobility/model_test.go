@@ -1,0 +1,269 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"mlorass/internal/geo"
+)
+
+// Compile-time interface conformance for every model; sensors additionally
+// expose their fixed position for flicker-proof spatial indexing.
+var (
+	_ Model       = (*Bus)(nil)
+	_ Model       = (*waypointNode)(nil)
+	_ Model       = (*sensorNode)(nil)
+	_ StaticModel = (*sensorNode)(nil)
+)
+
+// TestSensorFixedPositionKnownWhileAsleep pins the StaticModel contract: the
+// position is available even in an off-window, where PositionAt refuses.
+func TestSensorFixedPositionKnownWhileAsleep(t *testing.T) {
+	f, err := NewSensorGridFleet(sensorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.Len(); i++ {
+		n := f.Node(i)
+		sm, ok := n.(StaticModel)
+		if !ok {
+			t.Fatalf("sensor %d lost StaticModel", i)
+		}
+		var asleep time.Duration
+		found := false
+		for at := time.Duration(0); at < 6*time.Hour; at += time.Minute {
+			if !n.Active(at) {
+				asleep, found = at, true
+				break
+			}
+		}
+		if !found {
+			continue // pathological phase: always on at minute marks
+		}
+		if _, ok := n.PositionAt(asleep); ok {
+			t.Fatalf("sensor %d positioned while asleep", i)
+		}
+		p, okAwake := n.PositionAt(0)
+		if okAwake && sm.FixedPosition() != p {
+			t.Fatalf("sensor %d fixed position %v != live position %v", i, sm.FixedPosition(), p)
+		}
+	}
+}
+
+func rwpConfig() RandomWaypointConfig {
+	return RandomWaypointConfig{
+		Seed:        7,
+		Area:        geo.Square(5000),
+		NumNodes:    12,
+		SpeedMinMPS: 2,
+		SpeedMaxMPS: 10,
+		PauseMax:    30 * time.Second,
+		Horizon:     2 * time.Hour,
+	}
+}
+
+func TestRandomWaypointFleet(t *testing.T) {
+	f, err := NewRandomWaypointFleet(rwpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 12 {
+		t.Fatalf("fleet size %d", f.Len())
+	}
+	area := geo.Square(5000)
+	for i := 0; i < f.Len(); i++ {
+		n := f.Node(i)
+		if n.ID() != i {
+			t.Fatalf("node %d has ID %d", i, n.ID())
+		}
+		if s := n.SpeedMPS(); s < 2 || s > 10 {
+			t.Fatalf("node %d speed bound %v outside [2, 10]", i, s)
+		}
+		start, end := n.Window()
+		if start != 0 || end != 2*time.Hour {
+			t.Fatalf("node %d window [%v, %v)", i, start, end)
+		}
+		for _, at := range []time.Duration{0, time.Minute, time.Hour, 2*time.Hour - time.Second} {
+			p, ok := n.PositionAt(at)
+			if !ok {
+				t.Fatalf("node %d inactive at %v", i, at)
+			}
+			if !area.Contains(p) {
+				t.Fatalf("node %d at %v left the area: %v", i, at, p)
+			}
+		}
+		if _, ok := n.PositionAt(2 * time.Hour); ok {
+			t.Fatalf("node %d active at horizon", i)
+		}
+	}
+}
+
+// TestRandomWaypointSpeedBound verifies trajectories never exceed the node's
+// advertised speed bound: the spatial index's correctness depends on it.
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	f, err := NewRandomWaypointFleet(rwpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step = 10 * time.Second
+	for i := 0; i < f.Len(); i++ {
+		n := f.Node(i)
+		bound := n.SpeedMPS() * step.Seconds() * 1.0001
+		prev, _ := n.PositionAt(0)
+		for at := step; at < 2*time.Hour; at += step {
+			p, ok := n.PositionAt(at)
+			if !ok {
+				break
+			}
+			if d := prev.Dist(p); d > bound {
+				t.Fatalf("node %d moved %vm in %v, bound %vm", i, d, step, bound)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestRandomWaypointDeterminism(t *testing.T) {
+	a, err := NewRandomWaypointFleet(rwpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomWaypointFleet(rwpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		for _, at := range []time.Duration{0, 13 * time.Minute, 90 * time.Minute} {
+			pa, _ := a.Node(i).PositionAt(at)
+			pb, _ := b.Node(i).PositionAt(at)
+			if pa != pb {
+				t.Fatalf("node %d diverged at %v: %v vs %v", i, at, pa, pb)
+			}
+		}
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	muts := []func(*RandomWaypointConfig){
+		func(c *RandomWaypointConfig) { c.NumNodes = 0 },
+		func(c *RandomWaypointConfig) { c.SpeedMinMPS = 0 },
+		func(c *RandomWaypointConfig) { c.SpeedMaxMPS = 1 },
+		func(c *RandomWaypointConfig) { c.Horizon = 0 },
+		func(c *RandomWaypointConfig) { c.Area = geo.Rect{} },
+		func(c *RandomWaypointConfig) { c.PauseMax = -time.Second },
+	}
+	for i, mut := range muts {
+		cfg := rwpConfig()
+		mut(&cfg)
+		if _, err := NewRandomWaypointFleet(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func sensorConfig() SensorGridConfig {
+	return SensorGridConfig{
+		Seed:     3,
+		Area:     geo.Square(4000),
+		NumNodes: 9,
+		OnWindow: 10 * time.Minute,
+		Period:   time.Hour,
+		Horizon:  6 * time.Hour,
+	}
+}
+
+func TestSensorGridFleet(t *testing.T) {
+	f, err := NewSensorGridFleet(sensorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 9 {
+		t.Fatalf("fleet size %d", f.Len())
+	}
+	if f.MaxSpeedMPS() != 0 {
+		t.Fatalf("static fleet max speed %v", f.MaxSpeedMPS())
+	}
+	area := geo.Square(4000)
+	for i := 0; i < f.Len(); i++ {
+		n := f.Node(i)
+		if n.SpeedMPS() != 0 {
+			t.Fatalf("sensor %d moves", i)
+		}
+		// Positions are fixed: every active instant reports the same point.
+		var fixed geo.Point
+		seen := false
+		active := 0
+		const step = time.Minute
+		for at := time.Duration(0); at < 6*time.Hour; at += step {
+			p, ok := n.PositionAt(at)
+			if !ok {
+				continue
+			}
+			active++
+			if !area.Contains(p) {
+				t.Fatalf("sensor %d outside area: %v", i, p)
+			}
+			if seen && p != fixed {
+				t.Fatalf("sensor %d moved from %v to %v", i, fixed, p)
+			}
+			fixed, seen = p, true
+		}
+		// Duty cycle: ~10 min per hour over 6 h = ~60 of 360 samples.
+		if active < 42 || active > 78 {
+			t.Fatalf("sensor %d active %d/360 minutes, want ~60 (10 min/h duty)", i, active)
+		}
+	}
+}
+
+func TestSensorGridAlwaysOnWhenWindowEqualsPeriod(t *testing.T) {
+	cfg := sensorConfig()
+	cfg.OnWindow = cfg.Period
+	f, err := NewSensorGridFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := time.Duration(0); at < 6*time.Hour; at += 7 * time.Minute {
+		if !f.Node(0).Active(at) {
+			t.Fatalf("always-on sensor inactive at %v", at)
+		}
+	}
+}
+
+func TestSensorGridValidation(t *testing.T) {
+	muts := []func(*SensorGridConfig){
+		func(c *SensorGridConfig) { c.NumNodes = 0 },
+		func(c *SensorGridConfig) { c.OnWindow = 0 },
+		func(c *SensorGridConfig) { c.OnWindow = 2 * c.Period },
+		func(c *SensorGridConfig) { c.Horizon = 0 },
+		func(c *SensorGridConfig) { c.Area = geo.Rect{} },
+	}
+	for i, mut := range muts {
+		cfg := sensorConfig()
+		mut(&cfg)
+		if _, err := NewSensorGridFleet(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFromModelsRejectsNil(t *testing.T) {
+	if _, err := FromModels([]Model{nil}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestFleetMaxSpeed(t *testing.T) {
+	f, err := NewRandomWaypointFleet(rwpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := f.MaxSpeedMPS()
+	if max < 2 || max > 10 {
+		t.Fatalf("max speed %v outside configured band", max)
+	}
+	for i := 0; i < f.Len(); i++ {
+		if s := f.Node(i).SpeedMPS(); s > max {
+			t.Fatalf("node %d speed %v above fleet max %v", i, s, max)
+		}
+	}
+}

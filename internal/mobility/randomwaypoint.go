@@ -1,0 +1,158 @@
+package mobility
+
+import (
+	"fmt"
+	"time"
+
+	"mlorass/internal/geo"
+	"mlorass/internal/rng"
+)
+
+// RandomWaypointConfig parameterises a random-waypoint vehicle fleet: each
+// vehicle repeatedly draws a uniform destination in the area, travels to it
+// in a straight line at a per-leg speed from the configured band, pauses up
+// to PauseMax, and draws again. Unlike the timetabled bus fleet, vehicles
+// are in service for the whole horizon, so the scenario stresses the
+// forwarding schemes with non-diurnal, non-corridor movement.
+type RandomWaypointConfig struct {
+	// Seed drives all trajectory randomness.
+	Seed uint64
+	// Area is the operating area vehicles roam.
+	Area geo.Rect
+	// NumNodes is the vehicle count.
+	NumNodes int
+	// SpeedMinMPS and SpeedMaxMPS bound per-leg travel speeds.
+	SpeedMinMPS float64
+	SpeedMaxMPS float64
+	// PauseMax bounds the uniform pause at each waypoint (0 = no pauses).
+	PauseMax time.Duration
+	// Horizon is the trajectory length to precompute; vehicles are active
+	// on [0, Horizon).
+	Horizon time.Duration
+}
+
+// Validate reports configuration errors.
+func (c RandomWaypointConfig) Validate() error {
+	if c.Area.Area() <= 0 {
+		return fmt.Errorf("mobility: random waypoint: empty area")
+	}
+	if c.NumNodes <= 0 {
+		return fmt.Errorf("mobility: random waypoint: NumNodes %d must be positive", c.NumNodes)
+	}
+	if c.SpeedMinMPS <= 0 || c.SpeedMaxMPS < c.SpeedMinMPS {
+		return fmt.Errorf("mobility: random waypoint: speed bounds [%v, %v] invalid", c.SpeedMinMPS, c.SpeedMaxMPS)
+	}
+	if c.PauseMax < 0 {
+		return fmt.Errorf("mobility: random waypoint: PauseMax %v negative", c.PauseMax)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("mobility: random waypoint: Horizon %v must be positive", c.Horizon)
+	}
+	return nil
+}
+
+// leg is one straight-line segment (or pause, when from == to) of a
+// precomputed trajectory, covering virtual time [start, end).
+type leg struct {
+	start, end time.Duration
+	from, to   geo.Point
+}
+
+// waypointNode is one random-waypoint vehicle. Its whole trajectory is
+// precomputed at construction so PositionAt is a pure function of time:
+// random-access queries in any order stay deterministic.
+type waypointNode struct {
+	id       int
+	legs     []leg
+	maxSpeed float64
+	horizon  time.Duration
+}
+
+// ID implements Model.
+func (n *waypointNode) ID() int { return n.id }
+
+// SpeedMPS returns the fastest leg speed: the node's drift bound.
+func (n *waypointNode) SpeedMPS() float64 { return n.maxSpeed }
+
+// Window returns the full-horizon service window.
+func (n *waypointNode) Window() (start, end time.Duration) { return 0, n.horizon }
+
+// Active reports whether the vehicle is in service (the whole horizon).
+func (n *waypointNode) Active(at time.Duration) bool { return at >= 0 && at < n.horizon }
+
+// PositionAt interpolates the precomputed trajectory.
+func (n *waypointNode) PositionAt(at time.Duration) (geo.Point, bool) {
+	if !n.Active(at) {
+		return geo.Point{}, false
+	}
+	// Binary search for the leg containing at.
+	lo, hi := 0, len(n.legs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if n.legs[mid].start <= at {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	l := n.legs[lo]
+	if l.end <= l.start {
+		return l.to, true
+	}
+	t := float64(at-l.start) / float64(l.end-l.start)
+	if t > 1 {
+		t = 1
+	}
+	return l.from.Lerp(l.to, t), true
+}
+
+// NewRandomWaypointFleet builds a deterministic random-waypoint fleet. Each
+// vehicle's trajectory derives from its own split of the seed, so fleets of
+// different sizes share no correlated movement.
+func NewRandomWaypointFleet(cfg RandomWaypointConfig) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	nodes := make([]Model, cfg.NumNodes)
+	for i := range nodes {
+		nodes[i] = genWaypointNode(root.Split(), cfg, i)
+	}
+	return FromModels(nodes)
+}
+
+// genWaypointNode precomputes one vehicle's legs until they cover the horizon.
+func genWaypointNode(r *rng.Source, cfg RandomWaypointConfig, id int) *waypointNode {
+	n := &waypointNode{id: id, horizon: cfg.Horizon}
+	cur := randPoint(r, cfg.Area)
+	now := time.Duration(0)
+	for now < cfg.Horizon {
+		dest := randPoint(r, cfg.Area)
+		speed := r.Uniform(cfg.SpeedMinMPS, cfg.SpeedMaxMPS)
+		if speed > n.maxSpeed {
+			n.maxSpeed = speed
+		}
+		travel := time.Duration(cur.Dist(dest) / speed * float64(time.Second))
+		if travel <= 0 {
+			travel = time.Second // coincident draw: don't stall the walk
+		}
+		n.legs = append(n.legs, leg{start: now, end: now + travel, from: cur, to: dest})
+		now += travel
+		cur = dest
+		if cfg.PauseMax > 0 {
+			pause := time.Duration(r.Uniform(0, cfg.PauseMax.Seconds()) * float64(time.Second))
+			if pause > 0 {
+				n.legs = append(n.legs, leg{start: now, end: now + pause, from: cur, to: cur})
+				now += pause
+			}
+		}
+	}
+	return n
+}
+
+func randPoint(r *rng.Source, area geo.Rect) geo.Point {
+	return geo.Point{
+		X: area.Min.X + r.Float64()*area.Width(),
+		Y: area.Min.Y + r.Float64()*area.Height(),
+	}
+}

@@ -1,0 +1,113 @@
+package tfl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzDecode drives the CSV parser with arbitrary input. Two properties must
+// hold for any input the parser accepts:
+//
+//  1. Decode never panics (the fuzzer's implicit crash check), and
+//  2. the parser's own output re-parses: Encode(Decode(input)) must Decode
+//     again into a structurally identical dataset. Exact float equality is
+//     deliberately not asserted — second-hand inputs may carry values whose
+//     seconds→Duration conversion is lossy — but record counts, IDs, route
+//     shapes, and flags must survive the round trip bit for bit.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: real generator output at two scales, plus hand-written
+	// records covering every kind and a few near-miss shapes.
+	for _, gc := range []GenConfig{
+		DefaultGenConfig(1, 2, time.Hour),
+		DefaultGenConfig(7, 5, 20*time.Minute),
+	} {
+		ds, err := Generate(gc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, ds); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add("area,0,0,100,100\nroute,R0,5,0:0;10:10\ntrip,0,R0,0,60,1\n")
+	f.Add("area,0,0,1e300,NaN\nroute,R,1e-300,0:0;1:1\ntrip,-1,R,9e18,-5,0\n")
+	f.Add("route,R0,5,\ntrip,x,R0,a,b,2\narea,1,2,3\nbogus,1\n")
+	f.Add("\"area\",\"0\",\"0\",\"10\",\"10\"\nroute,\"R;0\",1,\"0:0;1:1\"")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var enc1 bytes.Buffer
+		if err := Encode(&enc1, ds); err != nil {
+			t.Fatalf("Encode of decoded dataset failed: %v", err)
+		}
+		ds2, err := Decode(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Decode of encoder output failed: %v\noutput:\n%s", err, enc1.String())
+		}
+		if len(ds2.Routes) != len(ds.Routes) || len(ds2.Trips) != len(ds.Trips) {
+			t.Fatalf("round trip changed counts: %d/%d routes, %d/%d trips",
+				len(ds.Routes), len(ds2.Routes), len(ds.Trips), len(ds2.Trips))
+		}
+		for i := range ds.Routes {
+			if ds2.Routes[i].ID != ds.Routes[i].ID {
+				t.Fatalf("route %d ID %q -> %q", i, ds.Routes[i].ID, ds2.Routes[i].ID)
+			}
+			if len(ds2.Routes[i].Points) != len(ds.Routes[i].Points) {
+				t.Fatalf("route %d point count %d -> %d", i, len(ds.Routes[i].Points), len(ds2.Routes[i].Points))
+			}
+		}
+		for i := range ds.Trips {
+			if ds2.Trips[i].ID != ds.Trips[i].ID ||
+				ds2.Trips[i].RouteID != ds.Trips[i].RouteID ||
+				ds2.Trips[i].Reverse != ds.Trips[i].Reverse {
+				t.Fatalf("trip %d identity changed: %+v -> %+v", i, ds.Trips[i], ds2.Trips[i])
+			}
+		}
+	})
+}
+
+// TestEncodeDecodeExactOnGeneratorOutput pins the strong round-trip property
+// for well-formed datasets: generator output survives Encode/Decode with
+// exact field equality (the basis of the fuzz corpus).
+func TestEncodeDecodeExactOnGeneratorOutput(t *testing.T) {
+	ds, err := Generate(DefaultGenConfig(3, 4, 30*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area != ds.Area {
+		t.Fatalf("area %+v -> %+v", ds.Area, got.Area)
+	}
+	if len(got.Routes) != len(ds.Routes) || len(got.Trips) != len(ds.Trips) {
+		t.Fatal("counts changed")
+	}
+	for i := range ds.Routes {
+		if got.Routes[i].ID != ds.Routes[i].ID || got.Routes[i].SpeedMPS != ds.Routes[i].SpeedMPS {
+			t.Fatalf("route %d changed", i)
+		}
+		for j := range ds.Routes[i].Points {
+			if got.Routes[i].Points[j] != ds.Routes[i].Points[j] {
+				t.Fatalf("route %d point %d changed", i, j)
+			}
+		}
+	}
+	for i := range ds.Trips {
+		if got.Trips[i] != ds.Trips[i] {
+			t.Fatalf("trip %d changed: %+v -> %+v", i, ds.Trips[i], got.Trips[i])
+		}
+	}
+}

@@ -6,9 +6,11 @@
 // and the ROBC backpressure forwarding scheme — together with every
 // substrate the evaluation needs: a discrete-event simulator, a LoRa PHY
 // with collisions and capture, a LoRaWAN MAC with the paper's Modified
-// Class-C and Queue-based Class-A device classes, a synthetic
-// London-bus-network mobility model, gateway planning, a network server,
-// and the full experiment harness regenerating the paper's figures.
+// Class-C and Queue-based Class-A device classes, pluggable mobility models
+// (the paper's synthetic London bus network, random-waypoint vehicles, and
+// duty-cycled sensor grids), a disruption layer scheduling gateway outages
+// and device churn, gateway planning, a network server, and the full
+// experiment harness regenerating the paper's figures.
 //
 // This root package is the public API: configure a scenario with Config,
 // execute it with Run, and read the measurements from Result. Everything
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"mlorass/internal/core"
+	"mlorass/internal/disruption"
 	"mlorass/internal/experiment"
 	"mlorass/internal/geo"
 	"mlorass/internal/lorawan"
@@ -74,6 +77,32 @@ const (
 // Config parameterises one simulation scenario. See experiment.Config for
 // field documentation; zero fields take paper defaults.
 type Config = experiment.Config
+
+// MobilityModel selects the movement scenario of a run.
+type MobilityModel = experiment.MobilityModel
+
+// Mobility models: the paper's timetabled bus fleet (the zero value), a
+// random-waypoint vehicle fleet, and a static duty-cycled sensor grid.
+const (
+	MobilityBuses          = experiment.MobilityBuses
+	MobilityRandomWaypoint = experiment.MobilityRandomWaypoint
+	MobilitySensorGrid     = experiment.MobilitySensorGrid
+)
+
+// MobilityConfig selects and parameterises the movement scenario
+// (Config.Mobility); the zero value reproduces the paper's bus fleet.
+type MobilityConfig = experiment.MobilityConfig
+
+// DisruptionConfig schedules gateway outage/recovery windows and permanent
+// mid-run device churn (Config.Disruption); the zero value keeps the
+// infrastructure permanently healthy as in the paper.
+type DisruptionConfig = disruption.Config
+
+// ParseMobilityModel resolves a scenario name ("buses", "randomwaypoint",
+// "sensorgrid") to its model, matching the cmd/expsweep -scenario flag.
+func ParseMobilityModel(s string) (MobilityModel, error) {
+	return experiment.ParseMobilityModel(s)
+}
 
 // Result carries a run's measurements: delivery counts, delay and hop
 // statistics, the throughput time series, and per-node overhead.
@@ -139,6 +168,23 @@ func Fig13AggTable(points []AggregatePoint) string { return experiment.Fig13AggT
 
 // GatewaySweep returns the gateway counts used by the figure sweeps.
 func GatewaySweep() []int { return experiment.GatewaySweep() }
+
+// OutagePoint is one (scheme, fraction-of-gateways-down) cell of the
+// outage-resilience sweep.
+type OutagePoint = experiment.OutagePoint
+
+// OutageFractions returns the gateway-down fractions of the resilience sweep.
+func OutageFractions() []float64 { return experiment.OutageFractions() }
+
+// OutageSweep runs the outage-resilience grid (every scheme × gateway-down
+// fraction) across a worker pool; workers < 1 means GOMAXPROCS.
+func OutageSweep(base Config, env Environment, workers int, progress func(string)) ([]OutagePoint, error) {
+	return experiment.OutageSweep(base, env, workers, progress)
+}
+
+// OutageTable renders the resilience sweep: delivery ratio per scheme as the
+// fraction of gateways down grows.
+func OutageTable(points []OutagePoint) string { return experiment.OutageTable(points) }
 
 // Fig8Table, Fig9Table, Fig12Table and Fig13Table render sweep results as
 // the corresponding paper tables.
