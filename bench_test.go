@@ -20,6 +20,8 @@ import (
 	"mlorass/internal/experiment"
 	"mlorass/internal/gwplan"
 	"mlorass/internal/routing"
+	"mlorass/internal/runstore"
+	"mlorass/internal/telemetry"
 )
 
 // benchConfig is the reduced-scale scenario the benches run: a dense small
@@ -311,4 +313,82 @@ func BenchmarkPublicAPIQuick(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead proves the tentpole's overhead budget: the same
+// scenario with metric recorders off (the pre-telemetry hot path), on (the
+// shipped default: counters + delay/airtime histograms, tracing disabled),
+// and fully traced to an in-memory sink. The acceptance bar is recorders-on
+// within 5% of recorders-off; compare the sub-benchmarks' ns/op.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	variants := []struct {
+		name      string
+		configure func(*experiment.Config)
+	}{
+		{"off", func(cfg *experiment.Config) { cfg.Telemetry.Disabled = true }},
+		{"recorders", func(cfg *experiment.Config) {}},
+		{"traced", func(cfg *experiment.Config) {
+			cfg.Telemetry.Trace = telemetry.NewTracer(&telemetry.MemSink{}, 1)
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var delivered int
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(1)
+				cfg.Scheme = routing.SchemeROBC
+				v.configure(&cfg)
+				delivered = runBench(b, cfg).Delivered
+			}
+			b.ReportMetric(float64(delivered), "delivered")
+		})
+	}
+}
+
+// BenchmarkRunStoreSweep measures the resumable-sweep win: the same
+// replicated grid against a cold store (simulate + persist every cell) and a
+// warm one (load every cell). The warm/cold ratio is the recompute cost the
+// artifact store deletes from repeated figure regeneration.
+func BenchmarkRunStoreSweep(b *testing.B) {
+	sweepBase := func() experiment.Config {
+		cfg := experiment.DefaultConfig()
+		cfg.AreaSideM = 5000
+		cfg.NumRoutes = 6
+		cfg.PeakHeadway = 20 * time.Minute
+		cfg.Duration = 2 * time.Hour
+		return cfg
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store, err := runstore.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := experiment.ParallelSweep(sweepBase(), experiment.Urban,
+				experiment.SweepOptions{Reps: 2, Store: store}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		store, err := runstore.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiment.ParallelSweep(sweepBase(), experiment.Urban,
+			experiment.SweepOptions{Reps: 2, Store: store}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			points, err := experiment.ParallelSweep(sweepBase(), experiment.Urban,
+				experiment.SweepOptions{Reps: 2, Store: store})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if points[0].Agg.Telemetry.Delay.N() == 0 {
+				b.Fatal("cached cells lost telemetry")
+			}
+		}
+	})
 }

@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// benchmark artefact, so CI can upload one BENCH_<sha>.json per commit and
+// the repository's performance trajectory (sim hot path ns/op, allocs,
+// figure metrics) stays machine-diffable across the whole history.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -out BENCH_abc123.json
+//	benchjson -in bench.txt -out bench.json
+//
+// Non-benchmark lines (PASS, ok, build noise) are ignored; goos/goarch/pkg/
+// cpu headers are captured into the artefact's environment block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metric is one "value unit" pair of a benchmark line (ns/op, B/op,
+// allocs/op, or a custom ReportMetric unit).
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -N GOMAXPROCS suffix, e.g. "BenchmarkFig8Delay/urban/ROBC-8".
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (the most recent "pkg:"
+	// header), so concatenated multi-package bench output stays
+	// attributable.
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is the b.N the reported averages were measured over.
+	Iterations int64 `json:"iterations"`
+	// Metrics holds every reported value in line order.
+	Metrics []Metric `json:"metrics"`
+}
+
+// Artifact is the JSON document benchjson emits.
+type Artifact struct {
+	// Env captures the goos/goarch/cpu header lines (machine-wide, so
+	// identical across the concatenated packages; per-package context
+	// lives in each Benchmark.Pkg).
+	Env map[string]string `json:"env,omitempty"`
+	// Benchmarks holds every parsed result in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	in := fs.String("in", "", "bench output file (default: stdin)")
+	out := fs.String("out", "", "JSON artefact path (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected positional arguments %q", fs.Args())
+	}
+
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	art, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// Parse reads `go test -bench` output and extracts the benchmark lines.
+func Parse(r io.Reader) (*Artifact, error) {
+	art := &Artifact{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			if art.Env == nil {
+				art.Env = map[string]string{}
+			}
+			art.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				b.Pkg = pkg
+				art.Benchmarks = append(art.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// parseBenchLine parses "BenchmarkName-8  N  v1 u1  v2 u2 ...". Lines that
+// do not follow the shape (e.g. a benchmark name echoed by -v) report false.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics = append(b.Metrics, Metric{Value: v, Unit: fields[i+1]})
+	}
+	return b, true
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+goarch: amd64
+pkg: mlorass
+cpu: Intel Xeon
+BenchmarkFig8Delay/urban/NoRouting-8         	      12	  95012345 ns/op	       102.3 delay-s	  524288 B/op	    1024 allocs/op
+BenchmarkHistogramAdd-8                      	500000000	         2.104 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	mlorass	12.345s
+`
+
+func TestParse(t *testing.T) {
+	art, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Env["goos"] != "linux" || art.Env["cpu"] != "Intel Xeon" {
+		t.Fatalf("env = %v", art.Env)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(art.Benchmarks))
+	}
+	b := art.Benchmarks[0]
+	if b.Name != "BenchmarkFig8Delay/urban/NoRouting-8" || b.Iterations != 12 || b.Pkg != "mlorass" {
+		t.Fatalf("bench[0] = %+v", b)
+	}
+	wantUnits := []string{"ns/op", "delay-s", "B/op", "allocs/op"}
+	if len(b.Metrics) != len(wantUnits) {
+		t.Fatalf("metrics = %+v", b.Metrics)
+	}
+	for i, u := range wantUnits {
+		if b.Metrics[i].Unit != u {
+			t.Fatalf("metric %d unit = %q, want %q", i, b.Metrics[i].Unit, u)
+		}
+	}
+	if b.Metrics[1].Value != 102.3 {
+		t.Fatalf("delay-s = %v", b.Metrics[1].Value)
+	}
+	if art.Benchmarks[1].Metrics[0].Value != 2.104 {
+		t.Fatalf("ns/op = %v", art.Benchmarks[1].Metrics[0].Value)
+	}
+}
+
+// TestParseMultiPackage covers the CI shape: two packages' outputs
+// concatenated — each benchmark keeps its own package.
+func TestParseMultiPackage(t *testing.T) {
+	input := sampleBench + `
+pkg: mlorass/internal/telemetry
+BenchmarkRecorderHotPath-8	300000000	         4.2 ns/op
+`
+	art, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(art.Benchmarks))
+	}
+	if art.Benchmarks[1].Pkg != "mlorass" {
+		t.Fatalf("bench[1].Pkg = %q, want mlorass", art.Benchmarks[1].Pkg)
+	}
+	if art.Benchmarks[2].Pkg != "mlorass/internal/telemetry" {
+		t.Fatalf("bench[2].Pkg = %q", art.Benchmarks[2].Pkg)
+	}
+	if _, ok := art.Env["pkg"]; ok {
+		t.Fatal("pkg leaked into the machine-wide env block")
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	art, err := Parse(strings.NewReader("?   \tmlorass/cmd\t[no test files]\nFAIL\nBenchmarkBroken no numbers here at all\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", art.Benchmarks)
+	}
+}

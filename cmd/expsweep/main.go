@@ -20,19 +20,31 @@
 //	expsweep -fig 8 -parallel 8 -reps 5   # replicated parallel sweep
 //	expsweep -fig 9 -scenario randomwaypoint   # non-timetabled mobility
 //	expsweep -fig resilience -quick    # gateway-outage resilience table
+//
+// The telemetry subsystem adds -store (content-addressed run-artifact cache:
+// repeated or interrupted sweeps skip already-computed cells), -trace
+// (sampled per-packet JSONL/CSV event trace), and -percentiles (pooled
+// p50/p95/p99 delay columns from exactly merged histograms):
+//
+//	expsweep -fig 8 -quick -reps 5 -store .runcache -percentiles
+//	expsweep -fig 9 -quick -trace trace.jsonl -trace-sample 100
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"mlorass"
 	"mlorass/internal/experiment"
 	"mlorass/internal/gwplan"
 	"mlorass/internal/routing"
+	"mlorass/internal/runstore"
+	"mlorass/internal/telemetry"
 )
 
 func main() {
@@ -42,24 +54,47 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("expsweep", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | resilience | ablations | all")
-		envName  = fs.String("env", "both", "environment: urban | rural | both")
-		seed     = fs.Uint64("seed", 1, "random seed (replications derive theirs from it)")
-		quick    = fs.Bool("quick", false, "reduced scale (shorter horizon, smaller fleet)")
-		quiet    = fs.Bool("quiet", false, "suppress per-run progress lines")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the figure sweeps (figs 8/9/12/13, resilience)")
-		reps     = fs.Int("reps", 1, "replications per sweep cell (figs 8/9/12/13); tables report mean ± 95% CI")
-		scenario = fs.String("scenario", "buses", "mobility scenario: buses | randomwaypoint | sensorgrid")
-		nodes    = fs.Int("nodes", 0, "node count for the randomwaypoint/sensorgrid scenarios (0 = default)")
+		fig         = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | resilience | ablations | all")
+		envName     = fs.String("env", "both", "environment: urban | rural | both")
+		seed        = fs.Uint64("seed", 1, "random seed (replications derive theirs from it)")
+		quick       = fs.Bool("quick", false, "reduced scale (shorter horizon, smaller fleet)")
+		quiet       = fs.Bool("quiet", false, "suppress per-run progress lines")
+		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the figure sweeps (figs 8/9/12/13, resilience)")
+		reps        = fs.Int("reps", 1, "replications per sweep cell (figs 8/9/12/13); tables report mean ± 95% CI")
+		scenario    = fs.String("scenario", "buses", "mobility scenario: buses | randomwaypoint | sensorgrid")
+		nodes       = fs.Int("nodes", 0, "node count for the randomwaypoint/sensorgrid scenarios (0 = default)")
+		storeDir    = fs.String("store", "", "run-artifact store directory: figure-sweep cells already stored are loaded instead of re-simulated, fresh cells are persisted (resumable sweeps)")
+		traceFile   = fs.String("trace", "", "write a sampled per-packet event trace to this file ('-' = stdout)")
+		traceFormat = fs.String("trace-format", "jsonl", "trace encoding: jsonl | csv")
+		traceSample = fs.Int("trace-sample", 1, "trace one in N messages (1 = every message; sampled messages trace completely)")
+		percentiles = fs.Bool("percentiles", false, "also print pooled p50/p95/p99 delay columns for the figure sweeps")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *parallel < 1 || *reps < 1 {
-		return fmt.Errorf("-parallel %d and -reps %d must be at least 1", *parallel, *reps)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected positional arguments %q (all options are flags)", fs.Args())
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d must be at least 1", *parallel)
+	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d must be at least 1", *reps)
+	}
+	if *nodes < 0 {
+		return fmt.Errorf("-nodes %d must be non-negative (0 = scenario default)", *nodes)
+	}
+	if *traceSample < 1 {
+		return fmt.Errorf("-trace-sample %d must be at least 1 (1 traces every message)", *traceSample)
+	}
+	if *traceFormat != "jsonl" && *traceFormat != "csv" {
+		return fmt.Errorf("unknown -trace-format %q (want jsonl | csv)", *traceFormat)
+	}
+	if *traceFile == "" && *traceSample != 1 {
+		fmt.Fprintln(os.Stderr, "expsweep: note: -trace-sample has no effect without -trace")
 	}
 
 	base := experiment.DefaultConfig()
@@ -88,7 +123,30 @@ func run(args []string) error {
 		return err
 	}
 
-	sw := sweeper{workers: *parallel, reps: *reps, quiet: *quiet}
+	var store *runstore.Store
+	if *storeDir != "" {
+		store, err = runstore.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+	}
+	tracer, err := openTracer(*traceFile, *traceFormat, *traceSample)
+	if err != nil {
+		return err
+	}
+	if tracer != nil {
+		base.Telemetry.Trace = tracer
+		// A failed flush must fail the command: a silently truncated
+		// trace is worse than none.
+		defer func() {
+			if cerr := tracer.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing trace: %w", cerr)
+			}
+		}()
+	}
+
+	sw := sweeper{workers: *parallel, reps: *reps, quiet: *quiet,
+		store: store, percentiles: *percentiles}
 
 	switch *fig {
 	case "7", "10", "11", "ablations":
@@ -96,6 +154,16 @@ func run(args []string) error {
 		// than silently dropping the flags.
 		if *reps > 1 || fs.Lookup("parallel").Value.String() != fs.Lookup("parallel").DefValue {
 			fmt.Fprintf(os.Stderr, "expsweep: note: -parallel/-reps apply to the figure sweeps only; -fig %s runs single-seed, serial\n", *fig)
+		}
+		if store != nil {
+			fmt.Fprintf(os.Stderr, "expsweep: note: -store caches figure-sweep cells only; -fig %s always simulates\n", *fig)
+		}
+		if *percentiles {
+			fmt.Fprintf(os.Stderr, "expsweep: note: -percentiles applies to the figure sweeps (figs 8/9/12/13) only\n")
+		}
+	case "resilience":
+		if store != nil {
+			fmt.Fprintln(os.Stderr, "expsweep: note: -store caches figure-sweep cells only; the resilience sweep always simulates")
 		}
 	}
 
@@ -144,6 +212,33 @@ func run(args []string) error {
 	}
 }
 
+// openTracer builds the per-packet trace pipeline for -trace: nil when
+// tracing is off, otherwise a sampling tracer over a JSONL or CSV sink on
+// the file (or stdout for "-"). The caller owns Close.
+func openTracer(path, format string, sample int) (*telemetry.Tracer, error) {
+	if path == "" {
+		return nil, nil
+	}
+	var w io.Writer
+	if path == "-" {
+		// Hide stdout's Closer so the sink's Close only flushes.
+		w = struct{ io.Writer }{os.Stdout}
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("opening trace file: %w", err)
+		}
+		w = f
+	}
+	var sink telemetry.Sink
+	if strings.EqualFold(format, "csv") {
+		sink = telemetry.NewCSVSink(w)
+	} else {
+		sink = telemetry.NewJSONLSink(w)
+	}
+	return telemetry.NewTracer(sink, sample), nil
+}
+
 func parseEnvs(name string) ([]experiment.Environment, error) {
 	switch name {
 	case "urban":
@@ -176,26 +271,45 @@ func fig7(base experiment.Config) error {
 
 // sweeper runs the figure sweeps through the parallel engine.
 type sweeper struct {
-	workers int
-	reps    int
-	quiet   bool
+	workers     int
+	reps        int
+	quiet       bool
+	store       *runstore.Store
+	percentiles bool
 }
 
 func (sw sweeper) sweepFig(base experiment.Config, envs []experiment.Environment) error {
 	for _, env := range envs {
+		// Stats are cumulative since Open; report this sweep's delta.
+		var before runstore.Stats
+		if sw.store != nil {
+			before = sw.store.Stats()
+		}
 		var fn func(experiment.CellUpdate)
 		if !sw.quiet {
 			fn = func(u experiment.CellUpdate) {
-				fmt.Fprintf(os.Stderr, "  [%3d/%3d] rep %d seed %d: %s\n",
-					u.Completed, u.Total, u.Rep, u.Seed, u.Result.String())
+				from := ""
+				if u.Cached {
+					from = " (cached)"
+				}
+				fmt.Fprintf(os.Stderr, "  [%3d/%3d] rep %d seed %d%s: %s\n",
+					u.Completed, u.Total, u.Rep, u.Seed, from, u.Result.String())
 			}
 		}
 		points, err := experiment.ParallelSweepFunc(base, env,
-			experiment.SweepOptions{Workers: sw.workers, Reps: sw.reps}, fn)
+			experiment.SweepOptions{Workers: sw.workers, Reps: sw.reps, Store: sw.store}, fn)
 		if err != nil {
 			return err
 		}
+		if sw.store != nil {
+			st := sw.store.Stats()
+			fmt.Fprintf(os.Stderr, "expsweep: store %s: %d loaded, %d simulated and persisted\n",
+				sw.store.Dir(), st.Hits-before.Hits, st.Puts-before.Puts)
+		}
 		fmt.Println(experiment.Fig8AggTable(points))
+		if sw.percentiles {
+			fmt.Println(experiment.Fig8PercentilesAggTable(points))
+		}
 		if sw.reps > 1 {
 			fmt.Println("(the matched-coverage table below uses replication 0 only: it needs raw per-delivery samples, not aggregates)")
 		}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidationErrors locks the satellite contract: every invalid flag
+// combination fails with a descriptive error (which main turns into a
+// non-zero exit), never a panic or a silently applied default.
+func TestFlagValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown fig", []string{"-fig", "99"}, `unknown figure "99"`},
+		{"unknown env", []string{"-env", "ocean"}, `unknown environment "ocean"`},
+		{"unknown scenario", []string{"-scenario", "submarines"}, "unknown mobility scenario"},
+		{"zero parallel", []string{"-parallel", "0"}, "-parallel 0 must be at least 1"},
+		{"negative parallel", []string{"-parallel", "-3"}, "-parallel -3 must be at least 1"},
+		{"zero reps", []string{"-reps", "0"}, "-reps 0 must be at least 1"},
+		{"negative nodes", []string{"-scenario", "sensorgrid", "-nodes", "-5"}, "-nodes -5 must be non-negative"},
+		{"nodes with buses", []string{"-nodes", "10"}, "-nodes applies to the randomwaypoint/sensorgrid scenarios"},
+		{"positional args", []string{"-fig", "7", "extra", "arg"}, "unexpected positional arguments"},
+		{"zero trace sample", []string{"-trace", "t.jsonl", "-trace-sample", "0"}, "-trace-sample 0 must be at least 1"},
+		{"bad trace format", []string{"-trace", "t.jsonl", "-trace-format", "xml"}, `unknown -trace-format "xml"`},
+		{"fig7 non-bus", []string{"-fig", "7", "-scenario", "randomwaypoint"}, "fig 7 charts the bus timetable"},
+		{"ablations non-bus", []string{"-fig", "ablations", "-scenario", "sensorgrid"}, "placement ablation needs the bus timetable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error = %q, want substring %q", tc.args, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestBadStoreDirFails checks that an unusable -store path errors out
+// instead of silently disabling the cache.
+func TestBadStoreDirFails(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-fig", "8", "-store", filepath.Join(file, "sub")})
+	if err == nil {
+		t.Fatal("store under a regular file accepted")
+	}
+}
+
+// TestBadTraceFileFails checks that an unwritable -trace path errors out.
+func TestBadTraceFileFails(t *testing.T) {
+	err := run([]string{"-fig", "8", "-trace", filepath.Join(t.TempDir(), "missing", "t.jsonl")})
+	if err == nil {
+		t.Fatal("trace file in a missing directory accepted")
+	}
+	if !strings.Contains(err.Error(), "opening trace file") {
+		t.Fatalf("error = %q", err)
+	}
+}
+
+// TestFig7Runs smoke-tests the one artefact cheap enough for a CLI test.
+func TestFig7Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a full synthetic dataset")
+	}
+	old := os.Stdout
+	os.Stdout, _ = os.Open(os.DevNull)
+	defer func() { os.Stdout = old }()
+	if err := run([]string{"-fig", "7", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}

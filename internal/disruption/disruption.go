@@ -107,7 +107,7 @@ func Compile(cfg Config, seed uint64, gateways, devices int, horizon time.Durati
 		nDown := victims(cfg.GatewayOutageFraction, gateways)
 		perm := gwRNG.Perm(gateways)
 		for _, gw := range perm[:nDown] {
-			start := time.Duration(gwRNG.Uniform(0, (horizon - dur).Seconds()+1) * float64(time.Second))
+			start := time.Duration(gwRNG.Uniform(0, (horizon-dur).Seconds()+1) * float64(time.Second))
 			if start+dur > horizon {
 				start = horizon - dur
 			}

@@ -77,6 +77,14 @@ func (h *eventHeap) Pop() any {
 	return it
 }
 
+// Probe observes kernel activity: OnEvent is invoked after every executed
+// event with the event's clock-stamped virtual time. Probes feed the
+// telemetry layer (kernel event rates, trace timestamps) without the kernel
+// importing it; a nil probe costs the run loop a single branch per event.
+type Probe interface {
+	OnEvent(now time.Duration)
+}
+
 // Simulator is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; simulations that need parallelism should run multiple
 // independent Simulators.
@@ -87,6 +95,7 @@ type Simulator struct {
 	byHandle map[uint64]*item
 	stopped  bool
 	executed uint64
+	probe    Probe
 }
 
 // New returns an empty simulator positioned at virtual time zero.
@@ -111,6 +120,9 @@ func (s *Simulator) Pending() int {
 
 // Executed returns how many events have run so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
+
+// SetProbe installs (or, with nil, removes) the kernel activity probe.
+func (s *Simulator) SetProbe(p Probe) { s.probe = p }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // returns an error: the kernel never rewinds the clock.
@@ -168,6 +180,9 @@ func (s *Simulator) step() bool {
 		s.now = top.at
 		s.executed++
 		top.fn(s.now)
+		if s.probe != nil {
+			s.probe.OnEvent(top.at)
+		}
 		return true
 	}
 	return false

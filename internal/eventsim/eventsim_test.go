@@ -299,3 +299,50 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		_ = s.Run()
 	}
 }
+
+// probeRecorder captures OnEvent clock stamps.
+type probeRecorder struct {
+	stamps []time.Duration
+}
+
+func (p *probeRecorder) OnEvent(now time.Duration) { p.stamps = append(p.stamps, now) }
+
+// TestProbeObservesEveryExecutedEvent checks the telemetry hook point: the
+// probe sees one clock-stamped callback per executed event, in execution
+// order, and cancelled events never reach it.
+func TestProbeObservesEveryExecutedEvent(t *testing.T) {
+	s := New()
+	p := &probeRecorder{}
+	s.SetProbe(p)
+	mustAt(t, s, 10*time.Millisecond, func(time.Duration) {})
+	mustAt(t, s, 30*time.Millisecond, func(time.Duration) {})
+	h, err := s.At(20*time.Millisecond, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel(h)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond}
+	if len(p.stamps) != len(want) {
+		t.Fatalf("probe saw %d events, want %d", len(p.stamps), len(want))
+	}
+	for i, at := range want {
+		if p.stamps[i] != at {
+			t.Fatalf("stamp[%d] = %v, want %v", i, p.stamps[i], at)
+		}
+	}
+	if s.Executed() != uint64(len(want)) {
+		t.Fatalf("Executed = %d, want %d", s.Executed(), len(want))
+	}
+	// Removing the probe silences it.
+	s.SetProbe(nil)
+	mustAt(t, s, 40*time.Millisecond, func(time.Duration) {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.stamps) != len(want) {
+		t.Fatal("probe saw events after removal")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"mlorass/internal/lorawan"
 	"mlorass/internal/radio"
 	"mlorass/internal/routing"
+	"mlorass/internal/telemetry"
 	"mlorass/internal/tfl"
 )
 
@@ -126,6 +127,26 @@ type Config struct {
 	// ThroughputBin is the bucket width of the arrival time series
 	// (paper Figs. 10–11: 10 minutes).
 	ThroughputBin time.Duration
+
+	// Telemetry configures the run's streaming observability: the
+	// always-on counters/histograms and the optional per-packet trace.
+	// The zero value records metrics and traces nothing, and leaves every
+	// reported figure byte-identical to the pre-telemetry simulator.
+	Telemetry TelemetryOptions
+}
+
+// TelemetryOptions selects the run's telemetry behaviour.
+type TelemetryOptions struct {
+	// Disabled turns off the metric recorders entirely (the run's
+	// Result.Telemetry stays zero). Used by overhead benchmarks; normal
+	// runs leave recording on — it is allocation-free on the hot path.
+	Disabled bool
+	// Trace, when non-nil, receives sampled per-packet events (generate,
+	// relay hops, gateway uplink, server deliver/dedup, queue drops).
+	// The tracer may be shared across the runs of a sweep: sinks are
+	// concurrency-safe and every event carries its run label. Tracing
+	// does not alter any measurement.
+	Trace *telemetry.Tracer
 }
 
 // DefaultConfig returns the paper-shaped scenario at a laptop-runnable

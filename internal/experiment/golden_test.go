@@ -73,3 +73,17 @@ func TestGoldenFigTables(t *testing.T) {
 		Fig8Table(points), Fig9Table(points), Fig12Table(points), Fig13Table(points))
 	goldenCompare(t, "fig_tables_quick.golden", tables)
 }
+
+// TestGoldenOutageTable locks the PR 2 resilience figure the same way the
+// Fig 8/9/12/13 tables are locked: the full OutageSweep grid for QuickConfig
+// at seed 1, urban. Disruption-compilation or table-rendering drift fails
+// here before it corrupts the resilience artefact.
+func TestGoldenOutageTable(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Seed = 1
+	points, err := OutageSweep(cfg, Urban, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "outage_table_quick.golden", OutageTable(points))
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"mlorass/internal/routing"
+	"mlorass/internal/runstore"
 )
 
 // SweepOptions configures ParallelSweep.
@@ -23,6 +24,13 @@ type SweepOptions struct {
 	// concurrently (sends block) and owns closing it after the sweep
 	// returns.
 	Progress chan<- CellUpdate
+	// Store, when non-nil, backs the sweep with the run-artifact cache:
+	// a cell whose (config, seed) key is already stored is loaded
+	// instead of re-simulated, and every freshly simulated cell is
+	// persisted — so repeating or resuming an interrupted sweep only
+	// pays for the cells it has never computed. Cached cells reproduce
+	// the original Result byte for byte in every aggregate table.
+	Store *runstore.Store
 }
 
 // CellUpdate is one completed replication, streamed while a sweep runs.
@@ -35,6 +43,9 @@ type CellUpdate struct {
 	Seed uint64
 	// Result is the completed run's measurements.
 	Result *Result
+	// Cached reports that the result was loaded from the run store
+	// instead of simulated.
+	Cached bool
 	// Completed counts runs finished so far (including this one) out of
 	// Total, for progress displays.
 	Completed int
@@ -194,10 +205,17 @@ func ParallelSweep(base Config, env Environment, opts SweepOptions) ([]Aggregate
 	}
 	// The collector slots results and streams progress; runPool keeps the
 	// lowest-index error so a failing sweep reports the same cell no
-	// matter how completions interleave.
+	// matter how completions interleave. cached[i] is written only by the
+	// worker running job i and read by the single collector after that
+	// job's done message, so the flags need no lock.
 	completed := 0
+	cached := make([]bool, len(jobs))
 	ji, err := runPool(len(jobs), workers,
-		func(i int) (*Result, error) { return Run(jobs[i].cfg) },
+		func(i int) (*Result, error) {
+			res, hit, err := runThroughStore(opts.Store, jobs[i].cfg)
+			cached[i] = hit
+			return res, err
+		},
 		func(i int, res *Result) {
 			j := jobs[i]
 			cells[j.cell].Reps[j.rep] = res
@@ -211,6 +229,7 @@ func ParallelSweep(base Config, env Environment, opts SweepOptions) ([]Aggregate
 					Rep:         j.rep,
 					Seed:        c.Seeds[j.rep],
 					Result:      res,
+					Cached:      cached[i],
 					Completed:   completed,
 					Total:       len(jobs),
 				}
@@ -256,6 +275,19 @@ func Fig8AggTable(points []AggregatePoint) string {
 	return aggTable(points, "Fig 8: mean end-to-end delay [s] (mean ± 95% CI)",
 		func(a *Aggregate) string {
 			return fmt.Sprintf("%7.1f ±%5.1f", a.MeanDelayS.Mean(), a.MeanDelayS.CI95())
+		})
+}
+
+// Fig8PercentilesAggTable renders the pooled end-to-end delay percentiles
+// (p50/p95/p99) per cell, computed from the exactly merged per-replication
+// delay histograms — true population percentiles, not averaged
+// per-replication percentiles. It goes beyond the paper's Fig. 8 mean ± CI:
+// tail latency is the quantity a production deployment is provisioned by.
+func Fig8PercentilesAggTable(points []AggregatePoint) string {
+	return aggTable(points, "Fig 8 (percentiles): end-to-end delay p50/p95/p99 [s] (pooled across reps)",
+		func(a *Aggregate) string {
+			p50, p95, p99 := a.DelayPercentiles()
+			return fmt.Sprintf("%5.1f/%5.0f/%5.0f", p50, p95, p99)
 		})
 }
 

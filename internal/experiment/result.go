@@ -8,6 +8,7 @@ import (
 
 	"mlorass/internal/radio"
 	"mlorass/internal/stats"
+	"mlorass/internal/telemetry"
 )
 
 // Result carries every measurement the paper's figures are built from.
@@ -72,6 +73,11 @@ type Result struct {
 	// whether the message ever hopped device-to-device.
 	DirectDelay  stats.Summary
 	RelayedDelay stats.Summary
+
+	// Telemetry is the run's streaming-metrics snapshot: hot-path
+	// counters plus the delay and airtime histograms, which merge
+	// exactly across replications (zero when Config.Telemetry.Disabled).
+	Telemetry telemetry.Snapshot
 
 	// rawDelays holds every delivered message's delay in seconds, for
 	// percentile analysis (internal diagnostics and sweeps).
@@ -146,6 +152,13 @@ func (s *sim) collect() *Result {
 		r.FramesPerNode.Add(float64(d.framesSent))
 		r.RadioOnPerNode.AddDuration(d.energy.RadioOnTime())
 	}
+	if s.rec != nil {
+		r.Telemetry = s.rec.Snapshot()
+		// The queues also drop on requeue overflow (PushFront), which
+		// the streamed counter cannot see; reconcile with the
+		// authoritative per-queue total.
+		r.Telemetry.Counters.QueueDrops = r.QueueDrops
+	}
 	return r
 }
 
@@ -199,6 +212,19 @@ type Aggregate struct {
 	QueueDrops stats.Summary
 	// Collisions summarises per-replication channel collision counts.
 	Collisions stats.Summary
+
+	// Telemetry merges the replications' snapshots exactly: DelayHist's
+	// percentiles are the true percentiles of the pooled delivered-message
+	// population, not an average of per-replication percentiles — the
+	// lossless aggregation mean ± CI cannot provide.
+	Telemetry telemetry.Snapshot
+}
+
+// DelayPercentiles returns the pooled p50/p95/p99 end-to-end delays in
+// seconds across all replications (zeros when telemetry was disabled).
+func (a *Aggregate) DelayPercentiles() (p50, p95, p99 float64) {
+	h := &a.Telemetry.Delay
+	return h.Percentile(50), h.Percentile(95), h.Percentile(99)
 }
 
 // AggregateResults collapses replicated runs into an Aggregate. Replications
@@ -219,6 +245,7 @@ func AggregateResults(reps []*Result) *Aggregate {
 		a.SendsPerNode.Add(r.MsgSendsPerNode.Mean())
 		a.QueueDrops.Add(float64(r.QueueDrops))
 		a.Collisions.Add(float64(r.Medium.Collisions))
+		a.Telemetry.Merge(r.Telemetry)
 	}
 	return a
 }

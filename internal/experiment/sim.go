@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"mlorass/internal/rng"
 	"mlorass/internal/routing"
 	"mlorass/internal/stats"
+	"mlorass/internal/telemetry"
 )
 
 // device is one LoRaWAN end-device riding one mobility node.
@@ -111,6 +113,13 @@ type sim struct {
 	handoverSuccesses uint64
 	handoverMsgs      uint64
 	handoverLostMsgs  uint64
+
+	// rec is the run's streaming metric recorder (nil when telemetry is
+	// disabled; every method is nil-safe). tracer samples per-packet
+	// events (nil when tracing is off); traceRun labels its records.
+	rec      *telemetry.Recorder
+	tracer   *telemetry.Tracer
+	traceRun string
 }
 
 // Run executes one scenario and returns its measurements.
@@ -207,6 +216,26 @@ func Run(cfg Config) (*Result, error) {
 		throughput:         throughput,
 		ix:                 newDevIndex(cfg.D2DRangeM, 30*time.Second, idxSpeed),
 		d2dShadow:          rng.New(cfg.Seed ^ 0x0d2d),
+	}
+	if !cfg.Telemetry.Disabled {
+		s.rec = telemetry.NewRecorder()
+	}
+	s.tracer = cfg.Telemetry.Trace
+	if s.tracer != nil {
+		s.traceRun = fmt.Sprintf("%s/%s/gw=%d/seed=%d",
+			cfg.Environment, cfg.Scheme, cfg.NumGateways, cfg.Seed)
+		// The kernel probe is wired only while tracing (its per-event
+		// interface call is measurable, the plain recorders are not),
+		// and only with a live recorder: a typed-nil probe would make
+		// the kernel pay the call for a guaranteed no-op.
+		if s.rec != nil {
+			s.es.SetProbe(s.rec)
+		}
+	}
+	if s.rec != nil || s.tracer != nil {
+		// The server ledger streams delays into the recorder and
+		// deliver/dedup records into the trace as they happen.
+		s.server.SetObserver(s)
 	}
 
 	rootRNG := rng.New(cfg.Seed ^ 0xdee1)
@@ -382,12 +411,28 @@ func (s *sim) tick(d *device, now time.Duration) {
 	// Generate this slot's message; a full queue drops it (counted).
 	s.msgCounter++
 	s.generated++
-	d.queue.Push(lorawan.Message{
+	s.rec.AddGenerated()
+	traced := s.tracer.Sampled(s.msgCounter)
+	if traced {
+		s.emitTrace(telemetry.Event{
+			T: now, Kind: telemetry.KindGenerate, Msg: s.msgCounter,
+			Dev: d.id, Peer: -1, Gw: -1,
+		})
+	}
+	if !d.queue.Push(lorawan.Message{
 		ID:      s.msgCounter,
 		Origin:  d.id,
 		Created: now,
 		Via:     -1,
-	})
+	}) {
+		s.rec.AddQueueDrop()
+		if traced {
+			s.emitTrace(telemetry.Event{
+				T: now, Kind: telemetry.KindDrop, Msg: s.msgCounter,
+				Dev: d.id, Peer: -1, Gw: -1,
+			})
+		}
+	}
 	// A new packet resets the retransmission counter (Sec. VII-A5).
 	d.attempts = 0
 
@@ -482,6 +527,8 @@ func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
 	d.energy.RecordTx(airtime)
 	d.framesSent++
 	d.msgSends += uint64(len(bundle))
+	s.rec.AddFrame()
+	s.rec.ObserveAirtime(airtime.Seconds())
 
 	if _, err := s.es.At(now+airtime, func(end time.Duration) {
 		s.resolve(d, tx, frame, dest, end)
@@ -503,7 +550,19 @@ func (s *sim) resolve(d *device, tx *radio.Transmission, frame lorawan.Frame, de
 	case gw >= 0:
 		// Delivered. The gateway ACK is instant and always succeeds
 		// (Sec. VII-A5); the bundle leaves the network.
+		s.rec.AddUplinkDelivery()
+		if s.tracer != nil {
+			for _, m := range frame.Messages {
+				if s.tracer.Sampled(m.ID) {
+					s.emitTrace(telemetry.Event{
+						T: now, Kind: telemetry.KindUplink, Msg: m.ID,
+						Dev: d.id, Peer: -1, Gw: gw, Hops: m.Hops + 1,
+					})
+				}
+			}
+		}
 		fresh := s.server.Ingest(now, gw, frame.Messages)
+		s.rec.AddServerFresh(fresh)
 		s.throughput.Record(now, fresh)
 		d.acked = true
 		d.attempts = 0
@@ -602,12 +661,62 @@ func (s *sim) resolveHandover(d *device, tx *radio.Transmission, frame lorawan.F
 	}
 	s.handoverSuccesses++
 	s.handoverMsgs += uint64(len(frame.Messages))
+	s.rec.AddRelayHops(len(frame.Messages))
 	for _, m := range frame.Messages {
 		m.Hops++
 		m.Via = d.id
-		target.queue.Push(m) // full queue counts a drop
+		traced := s.tracer.Sampled(m.ID)
+		if traced {
+			s.emitTrace(telemetry.Event{
+				T: now, Kind: telemetry.KindRelay, Msg: m.ID,
+				Dev: d.id, Peer: dest, Gw: -1, Hops: m.Hops,
+			})
+		}
+		if !target.queue.Push(m) { // full queue counts a drop
+			s.rec.AddQueueDrop()
+			if traced {
+				s.emitTrace(telemetry.Event{
+					T: now, Kind: telemetry.KindDrop, Msg: m.ID,
+					Dev: dest, Peer: -1, Gw: -1, Hops: m.Hops,
+				})
+			}
+		}
 	}
 	target.noSendBack[d.id] = struct{}{}
+}
+
+// emitTrace stamps the run label onto an event and forwards it to the
+// tracer. Callers have already checked Sampled for the message.
+func (s *sim) emitTrace(e telemetry.Event) {
+	e.Run = s.traceRun
+	s.tracer.Emit(e)
+	s.rec.AddTraceEvent()
+}
+
+// Delivered implements netserver.Observer: the ledger's first-copy
+// acceptance streams the end-to-end delay into the recorder and a deliver
+// record into the trace.
+func (s *sim) Delivered(d netserver.Delivery) {
+	s.rec.ObserveDelay(d.Delay().Seconds())
+	if s.tracer.Sampled(d.MessageID) {
+		s.emitTrace(telemetry.Event{
+			T: d.Arrived, Kind: telemetry.KindDeliver, Msg: d.MessageID,
+			Dev: -1, Peer: -1, Gw: d.Gateway, Hops: d.Hops,
+			DelayS: d.Delay().Seconds(),
+		})
+	}
+}
+
+// Duplicate implements netserver.Observer: a deduplicated copy counts and,
+// when sampled, traces.
+func (s *sim) Duplicate(now time.Duration, gw int, m lorawan.Message) {
+	s.rec.AddServerDuplicate()
+	if s.tracer.Sampled(m.ID) {
+		s.emitTrace(telemetry.Event{
+			T: now, Kind: telemetry.KindDuplicate, Msg: m.ID,
+			Dev: -1, Peer: -1, Gw: gw, Hops: m.Hops + 1,
+		})
+	}
 }
 
 // listening reports whether a device's receiver is open right now: Modified

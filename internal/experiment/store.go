@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mlorass/internal/disruption"
+	"mlorass/internal/gwplan"
+	"mlorass/internal/lorawan"
+	"mlorass/internal/radio"
+	"mlorass/internal/routing"
+	"mlorass/internal/runstore"
+	"mlorass/internal/stats"
+	"mlorass/internal/telemetry"
+)
+
+// storeSchemaVersion versions the (simulator semantics, artefact encoding)
+// pair. Bump it whenever either changes — any edit that can alter a Result
+// for the same (config, seed), or the resultArtifact layout — and every
+// previously stored artefact silently becomes a miss. This is the store's
+// entire cache-invalidation model: keys are content-addressed over
+// (schema version, semantic config, seed), never expired by time.
+const storeSchemaVersion = 1
+
+// storeKey is the canonical, deterministic description of everything that
+// determines a Run's Result. Field order is fixed by the struct; every
+// semantic Config field appears, and only non-semantic ones (trace sink,
+// progress plumbing) are omitted. TelemetryDisabled is semantic: it decides
+// whether the artefact carries a telemetry snapshot.
+type storeKey struct {
+	Schema            int                   `json:"schema"`
+	Seed              uint64                `json:"seed"`
+	Scheme            routing.Scheme        `json:"scheme"`
+	Class             lorawan.DeviceClass   `json:"class"`
+	Environment       Environment           `json:"environment"`
+	D2DRangeM         float64               `json:"d2d_range_m"`
+	GatewayRangeM     float64               `json:"gateway_range_m"`
+	NumGateways       int                   `json:"num_gateways"`
+	GatewayStrategy   gwplan.Strategy       `json:"gateway_strategy"`
+	Mobility          MobilityConfig        `json:"mobility"`
+	Disruption        disruption.Config     `json:"disruption"`
+	NumRoutes         int                   `json:"num_routes"`
+	PeakHeadway       time.Duration         `json:"peak_headway"`
+	AreaSideM         float64               `json:"area_side_m"`
+	Duration          time.Duration         `json:"duration"`
+	MsgInterval       time.Duration         `json:"msg_interval"`
+	QueueMax          int                   `json:"queue_max"`
+	Alpha             float64               `json:"alpha"`
+	SF                radio.SpreadingFactor `json:"sf"`
+	TxPowerDBm        float64               `json:"tx_power_dbm"`
+	DutyCycle         float64               `json:"duty_cycle"`
+	ShadowSigmaDB     float64               `json:"shadow_sigma_db"`
+	CaptureDB         float64               `json:"capture_db"`
+	ThroughputBin     time.Duration         `json:"throughput_bin"`
+	TelemetryDisabled bool                  `json:"telemetry_disabled"`
+}
+
+// cacheKey returns the run store key for cfg. ok is false when the config
+// is not cacheable: an explicitly supplied Dataset has no canonical byte
+// form here, so those runs always simulate.
+func cacheKey(cfg Config) (key string, ok bool) {
+	if cfg.Dataset != nil {
+		return "", false
+	}
+	cfg.Normalize()
+	k := storeKey{
+		Schema:            storeSchemaVersion,
+		Seed:              cfg.Seed,
+		Scheme:            cfg.Scheme,
+		Class:             cfg.Class,
+		Environment:       cfg.Environment,
+		D2DRangeM:         cfg.D2DRangeM,
+		GatewayRangeM:     cfg.GatewayRangeM,
+		NumGateways:       cfg.NumGateways,
+		GatewayStrategy:   cfg.GatewayStrategy,
+		Mobility:          cfg.Mobility,
+		Disruption:        cfg.Disruption,
+		NumRoutes:         cfg.NumRoutes,
+		PeakHeadway:       cfg.PeakHeadway,
+		AreaSideM:         cfg.AreaSideM,
+		Duration:          cfg.Duration,
+		MsgInterval:       cfg.MsgInterval,
+		QueueMax:          cfg.QueueMax,
+		Alpha:             cfg.Alpha,
+		SF:                cfg.SF,
+		TxPowerDBm:        cfg.TxPowerDBm,
+		DutyCycle:         cfg.DutyCycle,
+		ShadowSigmaDB:     cfg.ShadowSigmaDB,
+		CaptureDB:         cfg.CaptureDB,
+		ThroughputBin:     cfg.ThroughputBin,
+		TelemetryDisabled: cfg.Telemetry.Disabled,
+	}
+	b, err := json.Marshal(k)
+	if err != nil {
+		return "", false
+	}
+	return runstore.Key(b), true
+}
+
+// resultArtifact is a Result's wire form: every measurement, including the
+// raw per-delivery samples the matched-coverage table needs and the
+// telemetry snapshot, but not the Config (the loader restores it from the
+// request, which by key construction is semantically identical). JSON
+// float64 encoding round-trips bit for bit, so a decoded artefact renders
+// every aggregate table byte-identically to the original run.
+type resultArtifact struct {
+	Schema               int                `json:"schema"`
+	Generated            uint64             `json:"generated"`
+	Delivered            int                `json:"delivered"`
+	Duplicates           uint64             `json:"duplicates"`
+	QueueDrops           uint64             `json:"queue_drops"`
+	Delay                stats.Summary      `json:"delay"`
+	Hops                 stats.Summary      `json:"hops"`
+	MsgSendsPerNode      stats.Summary      `json:"msg_sends_per_node"`
+	FramesPerNode        stats.Summary      `json:"frames_per_node"`
+	RadioOnPerNode       stats.Summary      `json:"radio_on_per_node"`
+	Throughput           *stats.TimeSeries  `json:"throughput"`
+	Medium               radio.MediumStats  `json:"medium"`
+	ActiveDevices        int                `json:"active_devices"`
+	HandoverAttempts     uint64             `json:"handover_attempts"`
+	HandoverSuccesses    uint64             `json:"handover_successes"`
+	HandoverMsgs         uint64             `json:"handover_msgs"`
+	HandoverLostMsgs     uint64             `json:"handover_lost_msgs"`
+	GatewayOutageWindows int                `json:"gateway_outage_windows"`
+	DeviceFailures       int                `json:"device_failures"`
+	DirectDelay          stats.Summary      `json:"direct_delay"`
+	RelayedDelay         stats.Summary      `json:"relayed_delay"`
+	Telemetry            telemetry.Snapshot `json:"telemetry"`
+	RawDelays            []float64          `json:"raw_delays"`
+	OriginDelivered      []int              `json:"origin_delivered"`
+}
+
+// encodeResult serialises a Result for the run store.
+func encodeResult(r *Result) ([]byte, error) {
+	return json.Marshal(resultArtifact{
+		Schema:               storeSchemaVersion,
+		Generated:            r.Generated,
+		Delivered:            r.Delivered,
+		Duplicates:           r.Duplicates,
+		QueueDrops:           r.QueueDrops,
+		Delay:                r.Delay,
+		Hops:                 r.Hops,
+		MsgSendsPerNode:      r.MsgSendsPerNode,
+		FramesPerNode:        r.FramesPerNode,
+		RadioOnPerNode:       r.RadioOnPerNode,
+		Throughput:           r.Throughput,
+		Medium:               r.Medium,
+		ActiveDevices:        r.ActiveDevices,
+		HandoverAttempts:     r.HandoverAttempts,
+		HandoverSuccesses:    r.HandoverSuccesses,
+		HandoverMsgs:         r.HandoverMsgs,
+		HandoverLostMsgs:     r.HandoverLostMsgs,
+		GatewayOutageWindows: r.GatewayOutageWindows,
+		DeviceFailures:       r.DeviceFailures,
+		DirectDelay:          r.DirectDelay,
+		RelayedDelay:         r.RelayedDelay,
+		Telemetry:            r.Telemetry,
+		RawDelays:            r.rawDelays,
+		OriginDelivered:      r.originDelivered,
+	})
+}
+
+// decodeResult restores a stored artefact as the Result that Run(cfg) would
+// have produced, rejecting artefacts from another schema version.
+func decodeResult(data []byte, cfg Config) (*Result, error) {
+	var a resultArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("experiment: stored artefact: %w", err)
+	}
+	if a.Schema != storeSchemaVersion {
+		return nil, fmt.Errorf("experiment: stored artefact schema %d, want %d", a.Schema, storeSchemaVersion)
+	}
+	cfg.Normalize()
+	return &Result{
+		Config:               cfg,
+		Generated:            a.Generated,
+		Delivered:            a.Delivered,
+		Duplicates:           a.Duplicates,
+		QueueDrops:           a.QueueDrops,
+		Delay:                a.Delay,
+		Hops:                 a.Hops,
+		MsgSendsPerNode:      a.MsgSendsPerNode,
+		FramesPerNode:        a.FramesPerNode,
+		RadioOnPerNode:       a.RadioOnPerNode,
+		Throughput:           a.Throughput,
+		Medium:               a.Medium,
+		ActiveDevices:        a.ActiveDevices,
+		HandoverAttempts:     a.HandoverAttempts,
+		HandoverSuccesses:    a.HandoverSuccesses,
+		HandoverMsgs:         a.HandoverMsgs,
+		HandoverLostMsgs:     a.HandoverLostMsgs,
+		GatewayOutageWindows: a.GatewayOutageWindows,
+		DeviceFailures:       a.DeviceFailures,
+		DirectDelay:          a.DirectDelay,
+		RelayedDelay:         a.RelayedDelay,
+		Telemetry:            a.Telemetry,
+		rawDelays:            a.RawDelays,
+		originDelivered:      a.OriginDelivered,
+	}, nil
+}
+
+// runThroughStore executes one sweep cell through the artefact cache: a
+// stored (config, seed) cell loads instead of simulating; a fresh cell
+// simulates and persists. A nil store, an uncacheable config, or a corrupt
+// stored artefact falls back to a plain Run (corruption is repaired by
+// overwriting); a failing Put fails the cell, because a sweep that silently
+// stops persisting would defeat resumability.
+func runThroughStore(store *runstore.Store, cfg Config) (res *Result, cached bool, err error) {
+	if store == nil {
+		res, err := Run(cfg)
+		return res, false, err
+	}
+	key, cacheable := cacheKey(cfg)
+	if cacheable {
+		if data, ok, err := store.Get(key); err == nil && ok {
+			if res, derr := decodeResult(data, cfg); derr == nil {
+				return res, true, nil
+			}
+			// Corrupt or stale-schema artefact: fall through and
+			// overwrite it with a fresh run.
+		}
+	}
+	res, err = Run(cfg)
+	if err != nil || !cacheable {
+		return res, false, err
+	}
+	data, err := encodeResult(res)
+	if err != nil {
+		return nil, false, fmt.Errorf("experiment: encode artefact: %w", err)
+	}
+	if err := store.Put(key, data); err != nil {
+		return nil, false, err
+	}
+	return res, false, nil
+}

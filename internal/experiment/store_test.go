@@ -1,0 +1,232 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mlorass/internal/routing"
+	"mlorass/internal/runstore"
+	"mlorass/internal/tfl"
+)
+
+func TestCacheKeyDeterministicAndSensitive(t *testing.T) {
+	cfg := sweepTestConfig()
+	k1, ok1 := cacheKey(cfg)
+	k2, ok2 := cacheKey(cfg)
+	if !ok1 || !ok2 || k1 != k2 {
+		t.Fatalf("cache key unstable: %q/%v vs %q/%v", k1, ok1, k2, ok2)
+	}
+	// Normalized and un-normalized forms of the same config share a key.
+	norm := cfg
+	norm.Normalize()
+	if kn, _ := cacheKey(norm); kn != k1 {
+		t.Fatal("normalization changed the cache key")
+	}
+	// Every semantic change must change the key.
+	variants := map[string]func(*Config){
+		"seed":      func(c *Config) { c.Seed = 99 },
+		"scheme":    func(c *Config) { c.Scheme = routing.SchemeROBC },
+		"gateways":  func(c *Config) { c.NumGateways = 7 },
+		"duration":  func(c *Config) { c.Duration = 3 * time.Hour },
+		"alpha":     func(c *Config) { c.Alpha = 0.9 },
+		"outage":    func(c *Config) { c.Disruption.GatewayOutageFraction = 0.5 },
+		"mobility":  func(c *Config) { c.Mobility.Model = MobilityRandomWaypoint },
+		"telemetry": func(c *Config) { c.Telemetry.Disabled = true },
+	}
+	for name, mutate := range variants {
+		c := cfg
+		mutate(&c)
+		if kv, ok := cacheKey(c); !ok || kv == k1 {
+			t.Errorf("%s change did not change the cache key", name)
+		}
+	}
+	// An explicit dataset is uncacheable.
+	withDS := cfg
+	withDS.Dataset = &tfl.Dataset{}
+	if _, ok := cacheKey(withDS); ok {
+		t.Fatal("explicit dataset reported cacheable")
+	}
+}
+
+func TestResultArtifactRoundTrip(t *testing.T) {
+	cfg := telemetryTestConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := encodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeResult(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != res.String() || back.Report() != res.Report() {
+		t.Fatal("decoded artefact renders differently")
+	}
+	if back.Delay != res.Delay || back.Hops != res.Hops || back.Delivered != res.Delivered {
+		t.Fatal("decoded artefact summaries differ")
+	}
+	if back.Telemetry.Delay.Percentile(99) != res.Telemetry.Delay.Percentile(99) {
+		t.Fatal("decoded telemetry percentiles differ")
+	}
+	if back.DelayPercentile(95) != res.DelayPercentile(95) {
+		t.Fatal("decoded raw delays differ")
+	}
+	if back.MatchedDelayMean(100) != res.MatchedDelayMean(100) {
+		t.Fatal("decoded matched-coverage mean differs")
+	}
+	tb, rb := back.Throughput.Counts(), res.Throughput.Counts()
+	for i := range rb {
+		if tb[i] != rb[i] {
+			t.Fatal("decoded throughput series differs")
+		}
+	}
+}
+
+// sweepTables renders every aggregate figure table for comparison.
+func sweepTables(points []AggregatePoint) string {
+	return fmt.Sprintf("%s\n%s\n%s\n%s\n%s",
+		Fig8AggTable(points), Fig8PercentilesAggTable(points),
+		Fig9AggTable(points), Fig12AggTable(points), Fig13AggTable(points))
+}
+
+// TestParallelSweepStoreRoundTrip is the resumability acceptance test: a
+// repeated sweep against the same store re-simulates nothing (every cell
+// loads from cache) and renders byte-identical aggregate tables.
+func TestParallelSweepStoreRoundTrip(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sweepTestConfig()
+	opts := SweepOptions{Workers: 4, Reps: 2, Store: store}
+
+	var firstCached, secondCached, secondTotal int
+	first, err := ParallelSweepFunc(base, Urban, opts, func(u CellUpdate) {
+		if u.Cached {
+			firstCached++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstCached != 0 {
+		t.Fatalf("cold sweep reported %d cached cells", firstCached)
+	}
+	jobs := len(GatewaySweep()) * len(Schemes()) * opts.Reps
+	if st := store.Stats(); st.Puts != uint64(jobs) {
+		t.Fatalf("cold sweep persisted %d artefacts, want %d", st.Puts, jobs)
+	}
+
+	second, err := ParallelSweepFunc(base, Urban, opts, func(u CellUpdate) {
+		secondTotal++
+		if u.Cached {
+			secondCached++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondCached != jobs || secondTotal != jobs {
+		t.Fatalf("warm sweep re-simulated %d of %d cells, want 0", secondTotal-secondCached, secondTotal)
+	}
+	if st := store.Stats(); st.Puts != uint64(jobs) {
+		t.Fatalf("warm sweep wrote %d extra artefacts", st.Puts-uint64(jobs))
+	}
+	if got, want := sweepTables(second), sweepTables(first); got != want {
+		t.Fatalf("cached sweep tables differ:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// Replication-0 projections (matched-coverage table path) match too.
+	if got, want := Fig8MatchedTable(projectRep(second, 0)), Fig8MatchedTable(projectRep(first, 0)); got != want {
+		t.Fatal("cached matched-coverage table differs")
+	}
+}
+
+func projectRep(points []AggregatePoint, rep int) []SweepPoint {
+	out := make([]SweepPoint, len(points))
+	for i, p := range points {
+		out[i] = SweepPoint{Environment: p.Environment, Scheme: p.Scheme, Gateways: p.Gateways, Result: p.Reps[rep]}
+	}
+	return out
+}
+
+// TestParallelSweepStoreResume simulates an interrupted sweep: a store
+// pre-populated with only some cells loads those and simulates the rest.
+func TestParallelSweepStoreResume(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sweepTestConfig()
+
+	// "Interrupted" first pass: persist just two cells by hand.
+	prePopulated := 0
+	for _, gw := range GatewaySweep()[:2] {
+		cfg := base
+		cfg.Environment = Urban
+		cfg.D2DRangeM = 0
+		cfg.NumGateways = gw
+		cfg.Scheme = routing.SchemeNoRouting
+		cfg.Seed = RepSeed(base.Seed, 0)
+		if _, cached, err := runThroughStore(store, cfg); err != nil || cached {
+			t.Fatalf("pre-populate: cached=%v err=%v", cached, err)
+		}
+		prePopulated++
+	}
+
+	cachedSeen := 0
+	points, err := ParallelSweepFunc(base, Urban, SweepOptions{Workers: 2, Reps: 1, Store: store}, func(u CellUpdate) {
+		if u.Cached {
+			cachedSeen++
+			if u.Scheme != routing.SchemeNoRouting || u.Gateways > GatewaySweep()[1] {
+				t.Errorf("unexpected cached cell %v/gw=%d", u.Scheme, u.Gateways)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachedSeen != prePopulated {
+		t.Fatalf("resume loaded %d cached cells, want %d", cachedSeen, prePopulated)
+	}
+	// The resumed sweep matches a from-scratch sweep exactly.
+	fresh, err := ParallelSweep(base, Urban, SweepOptions{Workers: 2, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweepTables(points) != sweepTables(fresh) {
+		t.Fatal("resumed sweep tables differ from from-scratch sweep")
+	}
+}
+
+// TestRunThroughStoreCorruptArtefact checks self-healing: a corrupt stored
+// artefact is ignored, re-simulated, and overwritten.
+func TestRunThroughStoreCorruptArtefact(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sweepTestConfig()
+	key, ok := cacheKey(cfg)
+	if !ok {
+		t.Fatal("config not cacheable")
+	}
+	if err := store.Put(key, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	res, cached, err := runThroughStore(store, cfg)
+	if err != nil || cached {
+		t.Fatalf("corrupt artefact: cached=%v err=%v", cached, err)
+	}
+	// The overwrite repaired the entry: next call hits.
+	res2, cached2, err := runThroughStore(store, cfg)
+	if err != nil || !cached2 {
+		t.Fatalf("after repair: cached=%v err=%v", cached2, err)
+	}
+	if res2.String() != res.String() {
+		t.Fatal("repaired artefact differs")
+	}
+}

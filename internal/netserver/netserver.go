@@ -6,7 +6,9 @@
 // issues acknowledgements (assumed instantaneous and always successful, as
 // in the paper), and keeps the delivery ledger the evaluation metrics read:
 // per-message end-to-end delay, hop counts, and arrival times for the
-// throughput time series.
+// throughput time series. An optional Observer watches the ledger as it
+// grows, which is how the telemetry layer streams delay histograms and
+// per-packet deliver/dedup trace records without a post-run pass.
 package netserver
 
 import (
@@ -36,39 +38,81 @@ type Delivery struct {
 // Delay returns the end-to-end delay δt = t_g − t_d (Sec. VII-B).
 func (d Delivery) Delay() time.Duration { return d.Arrived - d.Created }
 
+// Observer watches the ledger in arrival order. Implementations must not
+// call back into the server.
+//
+// Callbacks are an event log, not the final ledger: Delivered fires with
+// the first copy's Hops/Gateway, and a later same-instant copy that wins
+// the hop tie-break (see Ingest) surfaces only as a Duplicate callback
+// while the ledger entry is amended in place. Consumers needing the
+// settled hop counts read Deliveries() after the run; the streamed delay
+// is unaffected (both copies share the arrival instant).
+type Observer interface {
+	// Delivered fires when a message's first copy is accepted.
+	Delivered(d Delivery)
+	// Duplicate fires when a redundant copy is discarded (or merely
+	// improves an existing entry's hop count on a same-instant tie).
+	Duplicate(now time.Duration, gw int, m lorawan.Message)
+}
+
 // Server is the network server. Not safe for concurrent use (it lives on
 // the single-threaded simulator).
 type Server struct {
-	seen       map[uint64]struct{}
+	// seen maps a delivered message ID to its ledger index.
+	seen       map[uint64]int
 	deliveries []Delivery
 	duplicates uint64
+	obs        Observer
 }
 
 // New returns an empty server.
 func New() *Server {
-	return &Server{seen: make(map[uint64]struct{})}
+	return &Server{seen: make(map[uint64]int)}
 }
+
+// SetObserver installs (or, with nil, removes) the ledger observer.
+func (s *Server) SetObserver(obs Observer) { s.obs = obs }
 
 // Ingest processes a bundle of messages received by gateway gw at time now.
 // It returns how many of them were new (non-duplicate). Duplicates — copies
 // already delivered via another gateway or an earlier uplink — are counted
-// but not re-recorded.
+// but not re-recorded, with one refinement: when the duplicate arrives at
+// the exact same instant as the recorded first copy (the same-tick
+// multi-gateway race, where physical arrival order is undefined and only
+// event-queue order decided the winner), the ledger keeps the copy with the
+// fewer wireless hops, breaking remaining ties in favour of the earlier
+// ingest. This makes Fig. 12's hop statistics independent of gateway
+// enumeration order.
 func (s *Server) Ingest(now time.Duration, gw int, msgs []lorawan.Message) int {
 	fresh := 0
 	for _, m := range msgs {
-		if _, dup := s.seen[m.ID]; dup {
+		if idx, dup := s.seen[m.ID]; dup {
 			s.duplicates++
+			// Same-instant hop-count tie-break (see above). Late
+			// duplicates — now after the recorded arrival — never
+			// rewrite history: the ack already committed that entry.
+			if d := &s.deliveries[idx]; now == d.Arrived && m.Hops+1 < d.Hops {
+				d.Hops = m.Hops + 1
+				d.Gateway = gw
+			}
+			if s.obs != nil {
+				s.obs.Duplicate(now, gw, m)
+			}
 			continue
 		}
-		s.seen[m.ID] = struct{}{}
-		s.deliveries = append(s.deliveries, Delivery{
+		s.seen[m.ID] = len(s.deliveries)
+		d := Delivery{
 			MessageID: m.ID,
 			Origin:    m.Origin,
 			Created:   m.Created,
 			Arrived:   now,
 			Hops:      m.Hops + 1,
 			Gateway:   gw,
-		})
+		}
+		s.deliveries = append(s.deliveries, d)
+		if s.obs != nil {
+			s.obs.Delivered(d)
+		}
 		fresh++
 	}
 	return fresh

@@ -1,0 +1,158 @@
+// Package runstore is a content-addressed on-disk store for simulation run
+// artefacts. Artefacts are keyed by the SHA-256 of a canonical description
+// of what produced them (configuration + seed + an encoding schema version),
+// so a sweep that re-encounters a (config, seed) cell it has already
+// computed loads the stored result instead of re-simulating, and an
+// interrupted sweep resumes from whatever its previous invocations persisted.
+//
+// Layout: <dir>/<key[:2]>/<key>.json — two-level fan-out keeps directories
+// small for million-cell sweep grids. Writes go through a temp file in the
+// same directory followed by an atomic rename, so a killed sweep never
+// leaves a truncated artefact behind; concurrent writers of the same key
+// both write the same content (keys are deterministic), so last-rename-wins
+// is safe.
+//
+// Cache invalidation is the caller's contract: the key must hash everything
+// that determines the artefact's bytes — every semantic config field, the
+// seed, and a schema/semantics version that the caller bumps whenever the
+// simulator's behaviour or the artefact encoding changes. The store itself
+// never expires entries; delete the directory to flush it.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Key returns the store key for a canonical artefact description: the
+// SHA-256 hex digest of the bytes. Callers are responsible for making the
+// description canonical (deterministic field order, no environment-dependent
+// content).
+func Key(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	// Hits counts Get calls that found an artefact.
+	Hits uint64
+	// Misses counts Get calls that found nothing.
+	Misses uint64
+	// Puts counts successfully persisted artefacts.
+	Puts uint64
+}
+
+// Store is a content-addressed artefact directory. Safe for concurrent use
+// by multiple goroutines (sweep workers) and cooperating processes.
+type Store struct {
+	dir    string
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+}
+
+// Open ensures dir exists and returns a store rooted there.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its artefact file.
+func (s *Store) path(key string) (string, error) {
+	if len(key) != sha256.Size*2 {
+		return "", fmt.Errorf("runstore: malformed key %q", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("runstore: malformed key %q", key)
+		}
+	}
+	return filepath.Join(s.dir, key[:2], key+".json"), nil
+}
+
+// Get returns the artefact stored under key, reporting ok=false (and no
+// error) when the key has never been stored.
+func (s *Store) Get(key string) (data []byte, ok bool, err error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err = os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.misses.Add(1)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("runstore: %w", err)
+	}
+	s.hits.Add(1)
+	return data, true, nil
+}
+
+// Put persists data under key atomically (temp file + rename).
+func (s *Store) Put(key string, data []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+key[:8]+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("runstore: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats returns traffic counters since Open.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+}
+
+// Len walks the store and returns the number of persisted artefacts.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("runstore: %w", err)
+	}
+	return n, nil
+}

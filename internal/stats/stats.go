@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -257,4 +258,58 @@ func Percentile(sample []float64, p float64) float64 {
 		return sorted[lo]
 	}
 	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// summaryJSON is Summary's wire form: the full Welford state, so a decoded
+// summary continues accumulating (and reports Mean/CI95) exactly as the
+// original would. JSON float64 encoding round-trips bit for bit.
+type summaryJSON struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON encodes the summary's accumulator state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores the accumulator state.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = Summary{n: w.N, mean: w.Mean, m2: w.M2, min: w.Min, max: w.Max}
+	return nil
+}
+
+// timeSeriesJSON is TimeSeries' wire form.
+type timeSeriesJSON struct {
+	Bin     time.Duration `json:"bin"`
+	Horizon time.Duration `json:"horizon"`
+	Counts  []int         `json:"counts"`
+}
+
+// MarshalJSON encodes the series.
+func (ts *TimeSeries) MarshalJSON() ([]byte, error) {
+	return json.Marshal(timeSeriesJSON{Bin: ts.bin, Horizon: ts.horizon, Counts: ts.counts})
+}
+
+// UnmarshalJSON restores the series, validating its shape.
+func (ts *TimeSeries) UnmarshalJSON(data []byte) error {
+	var w timeSeriesJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Bin <= 0 || w.Horizon <= 0 {
+		return fmt.Errorf("stats: decoded series bin %v / horizon %v must be positive", w.Bin, w.Horizon)
+	}
+	if want := int((w.Horizon + w.Bin - 1) / w.Bin); len(w.Counts) != want {
+		return fmt.Errorf("stats: decoded series has %d buckets, want %d", len(w.Counts), want)
+	}
+	*ts = TimeSeries{bin: w.Bin, horizon: w.Horizon, counts: w.Counts}
+	return nil
 }

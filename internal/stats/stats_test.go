@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -266,5 +267,65 @@ func TestSummaryCI95(t *testing.T) {
 	}
 	if z.CI95() != 0 {
 		t.Fatalf("zero-variance CI = %v, want 0", z.CI95())
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1.5, -2.25, 1e9, 0.001, 7} {
+		s.Add(v)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed state: %+v != %+v", back, s)
+	}
+	// The restored accumulator keeps accumulating identically.
+	s.Add(42)
+	back.Add(42)
+	if back != s {
+		t.Fatal("post-decode accumulation diverged")
+	}
+}
+
+func TestTimeSeriesJSONRoundTrip(t *testing.T) {
+	ts, err := NewTimeSeries(10*time.Minute, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Record(5*time.Minute, 3)
+	ts.Record(3*time.Hour, 7)
+	data, err := json.Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TimeSeries
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Bin() != ts.Bin() || back.Total() != ts.Total() {
+		t.Fatalf("round trip changed series: %v/%d", back.Bin(), back.Total())
+	}
+	got, want := back.Counts(), ts.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTimeSeriesJSONRejectsMalformed(t *testing.T) {
+	var back TimeSeries
+	if err := json.Unmarshal([]byte(`{"bin":0,"horizon":100,"counts":[]}`), &back); err == nil {
+		t.Fatal("accepted zero bin")
+	}
+	if err := json.Unmarshal([]byte(`{"bin":1,"horizon":100,"counts":[1,2]}`), &back); err == nil {
+		t.Fatal("accepted bucket-count mismatch")
 	}
 }

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: %v", h.String())
+	}
+}
+
+func TestHistogramExactMoments(t *testing.T) {
+	var h Histogram
+	vals := []float64{0.001, 0.5, 1, 2.5, 300, 86400}
+	sum := 0.0
+	for _, v := range vals {
+		h.Add(v)
+		sum += v
+	}
+	if h.N() != uint64(len(vals)) {
+		t.Fatalf("N = %d, want %d", h.N(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %v, want %v (must be exact)", h.Sum(), sum)
+	}
+	if h.Min() != 0.001 || h.Max() != 86400 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the log-linear layout's promised
+// relative error (≤ 1/subBuckets plus interpolation slack) against exact
+// sample percentiles over a wide dynamic range.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	var h Histogram
+	n := 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		// Log-uniform over [10 ms, 10^5 s]: seven decades.
+		v := math.Pow(10, rnd.Float64()*7-2)
+		vals[i] = v
+		h.Add(v)
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9} {
+		got := h.Percentile(p)
+		exact := vals[int(math.Ceil(p/100*float64(n)))-1]
+		rel := math.Abs(got-exact) / exact
+		if rel > 2.0/histSubBuckets {
+			t.Errorf("p%v: got %v, exact %v, rel err %.4f > %.4f", p, got, exact, rel, 2.0/histSubBuckets)
+		}
+	}
+}
+
+func TestHistogramEdgeBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(-3)         // clamped to 0, underflow
+	h.Add(1e-9)       // underflow
+	h.Add(1e9)        // overflow (beyond 2^21 s)
+	h.Add(math.NaN()) // clamped to 0
+	if h.N() != 4 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.Percentile(10); got != 0 {
+		t.Errorf("underflow percentile = %v, want 0", got)
+	}
+	if got := h.Percentile(100); got != 1e9 {
+		t.Errorf("max percentile = %v, want observed max 1e9", got)
+	}
+}
+
+// TestHistogramMergeExact is the subsystem's core guarantee: merging
+// per-replication histograms equals recording every observation into one
+// histogram, bit for bit — no re-binning, no lossy aggregation.
+func TestHistogramMergeExact(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	var whole Histogram
+	parts := make([]Histogram, 5)
+	for i := 0; i < 50000; i++ {
+		v := math.Abs(rnd.NormFloat64()) * 100
+		whole.Add(v)
+		parts[i%len(parts)].Add(v)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	// Bucket counts, n, and min/max must match exactly; the carried sum may
+	// differ in the last bits (float addition is not associative).
+	if merged.counts != whole.counts || merged.n != whole.n ||
+		merged.min != whole.min || merged.max != whole.max {
+		t.Fatal("merged histogram differs from whole-population histogram")
+	}
+	if rel := math.Abs(merged.sum-whole.sum) / whole.sum; rel > 1e-12 {
+		t.Fatalf("merged sum off by %v", rel)
+	}
+	for _, p := range []float64{50, 95, 99} {
+		if merged.Percentile(p) != whole.Percentile(p) {
+			t.Fatalf("p%v differs after merge", p)
+		}
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Add(2)
+	a.Merge(&b) // empty other: no-op
+	if a.N() != 1 || a.Min() != 2 {
+		t.Fatalf("merge with empty changed state: %v", a.String())
+	}
+	b.Merge(&a) // empty receiver adopts other's min/max
+	if b.N() != 1 || b.Min() != 2 || b.Max() != 2 {
+		t.Fatalf("empty receiver merge: %v", b.String())
+	}
+	a.Merge(nil)
+	if a.N() != 1 {
+		t.Fatal("nil merge changed state")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.004, 0.25, 17, 300.5, 86000} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatal("JSON round trip lost state")
+	}
+}
+
+func TestHistogramJSONRejectsForeignLayout(t *testing.T) {
+	var back Histogram
+	err := json.Unmarshal([]byte(`{"n":1,"sum":1,"min":1,"max":1,"layout":[-5,10,16]}`), &back)
+	if err == nil {
+		t.Fatal("foreign layout accepted")
+	}
+}
+
+// TestHistogramAddAllocationFree locks the hot-path contract.
+func TestHistogramAddAllocationFree(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Add(12.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("Histogram.Add allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i%100000) * 0.01)
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Add(float64(i) * 0.01)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Percentile(95)
+	}
+}

@@ -1,0 +1,173 @@
+// Package telemetry is the simulator's streaming observability layer: it
+// provides allocation-free metric recorders for the simulation hot path
+// (counters and log-linear histograms that merge exactly across replicated
+// runs, yielding true cross-replication percentiles instead of mean ± CI
+// only) and an optional sampled per-packet event trace behind pluggable
+// sinks (JSONL, CSV, in-memory).
+//
+// Each simulation run owns one Recorder — recorders are per-worker, so
+// parallel sweeps never contend — and publishes an immutable Snapshot into
+// its Result. Snapshots merge pairwise, which is what turns N replications'
+// histograms into one exact population histogram for p50/p95/p99 columns.
+package telemetry
+
+import "time"
+
+// Counters are the hot-path event tallies of one simulation run. Fields are
+// plain uint64s incremented by a single goroutine (each run owns its
+// Recorder), so recording costs one add and no allocation.
+type Counters struct {
+	// Generated counts application messages created by devices.
+	Generated uint64
+	// FramesOnAir counts LoRa frames transmitted (uplinks + handovers).
+	FramesOnAir uint64
+	// UplinkDeliveries counts frames decoded by a gateway.
+	UplinkDeliveries uint64
+	// ServerFresh counts messages accepted by the network server as new.
+	ServerFresh uint64
+	// ServerDuplicates counts message copies the server deduplicated.
+	ServerDuplicates uint64
+	// RelayHops counts successful device-to-device message transfers.
+	RelayHops uint64
+	// QueueDrops counts messages dropped by full device queues.
+	QueueDrops uint64
+	// KernelEvents counts discrete events executed by the simulation
+	// kernel (populated only while tracing, via the eventsim probe).
+	KernelEvents uint64
+	// TraceEvents counts trace records emitted to the sink.
+	TraceEvents uint64
+}
+
+// Merge adds other's tallies into c.
+func (c *Counters) Merge(other Counters) {
+	c.Generated += other.Generated
+	c.FramesOnAir += other.FramesOnAir
+	c.UplinkDeliveries += other.UplinkDeliveries
+	c.ServerFresh += other.ServerFresh
+	c.ServerDuplicates += other.ServerDuplicates
+	c.RelayHops += other.RelayHops
+	c.QueueDrops += other.QueueDrops
+	c.KernelEvents += other.KernelEvents
+	c.TraceEvents += other.TraceEvents
+}
+
+// Recorder accumulates one run's metrics. A nil *Recorder is a valid no-op
+// recorder: every method checks the receiver, so instrumented call sites stay
+// branch-cheap when telemetry is disabled. Not safe for concurrent use; each
+// simulation (worker) owns its own.
+type Recorder struct {
+	counters Counters
+	// delay buckets end-to-end delays of delivered messages in seconds.
+	delay Histogram
+	// airtime buckets transmitted frames' time-on-air in seconds.
+	airtime Histogram
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// AddGenerated counts one generated application message.
+func (r *Recorder) AddGenerated() {
+	if r != nil {
+		r.counters.Generated++
+	}
+}
+
+// AddFrame counts one transmitted frame.
+func (r *Recorder) AddFrame() {
+	if r != nil {
+		r.counters.FramesOnAir++
+	}
+}
+
+// AddUplinkDelivery counts one frame decoded by a gateway.
+func (r *Recorder) AddUplinkDelivery() {
+	if r != nil {
+		r.counters.UplinkDeliveries++
+	}
+}
+
+// AddServerFresh counts n messages newly accepted by the server.
+func (r *Recorder) AddServerFresh(n int) {
+	if r != nil {
+		r.counters.ServerFresh += uint64(n)
+	}
+}
+
+// AddServerDuplicate counts one deduplicated copy.
+func (r *Recorder) AddServerDuplicate() {
+	if r != nil {
+		r.counters.ServerDuplicates++
+	}
+}
+
+// AddRelayHops counts n messages moved by a successful handover.
+func (r *Recorder) AddRelayHops(n int) {
+	if r != nil {
+		r.counters.RelayHops += uint64(n)
+	}
+}
+
+// AddQueueDrop counts one message dropped by a full queue.
+func (r *Recorder) AddQueueDrop() {
+	if r != nil {
+		r.counters.QueueDrops++
+	}
+}
+
+// AddKernelEvent counts one executed kernel event (eventsim probe).
+func (r *Recorder) AddKernelEvent() {
+	if r != nil {
+		r.counters.KernelEvents++
+	}
+}
+
+// OnEvent implements the eventsim Probe shape: one clock-stamped callback
+// per executed kernel event.
+func (r *Recorder) OnEvent(time.Duration) { r.AddKernelEvent() }
+
+// AddTraceEvent counts one emitted trace record.
+func (r *Recorder) AddTraceEvent() {
+	if r != nil {
+		r.counters.TraceEvents++
+	}
+}
+
+// ObserveDelay records one delivered message's end-to-end delay in seconds.
+func (r *Recorder) ObserveDelay(seconds float64) {
+	if r == nil {
+		return
+	}
+	r.delay.Add(seconds)
+}
+
+// ObserveAirtime records one transmitted frame's time-on-air in seconds.
+func (r *Recorder) ObserveAirtime(seconds float64) {
+	if r == nil {
+		return
+	}
+	r.airtime.Add(seconds)
+}
+
+// Snapshot returns a copy of the recorder's state (zero Snapshot when nil).
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return Snapshot{Counters: r.counters, Delay: r.delay, Airtime: r.airtime}
+}
+
+// Snapshot is one run's immutable telemetry: counters plus the delay and
+// airtime histograms. Snapshots from replicated runs merge exactly.
+type Snapshot struct {
+	Counters Counters  `json:"counters"`
+	Delay    Histogram `json:"delay"`
+	Airtime  Histogram `json:"airtime"`
+}
+
+// Merge folds other into s (exact: see Histogram.Merge).
+func (s *Snapshot) Merge(other Snapshot) {
+	s.Counters.Merge(other.Counters)
+	s.Delay.Merge(&other.Delay)
+	s.Airtime.Merge(&other.Airtime)
+}

@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a trace record. The kinds follow one message's life:
+// generate → relay hops → gateway uplink → server dedup/delivery, plus queue
+// drops for losses.
+type EventKind string
+
+// Trace event kinds (the `kind` field of a JSONL line).
+const (
+	// KindGenerate is a message created at its origin device.
+	KindGenerate EventKind = "gen"
+	// KindRelay is a successful device-to-device handover of the message.
+	KindRelay EventKind = "relay"
+	// KindUplink is a frame carrying the message decoded by a gateway.
+	KindUplink EventKind = "uplink"
+	// KindDeliver is the server accepting the message's first copy.
+	KindDeliver EventKind = "deliver"
+	// KindDuplicate is the server discarding a redundant copy.
+	KindDuplicate EventKind = "dup"
+	// KindDrop is the message discarded by a full device queue.
+	KindDrop EventKind = "drop"
+)
+
+// Event is one trace record. Index fields (Dev, Peer, Gw) use -1 when the
+// field is not meaningful for the kind.
+type Event struct {
+	// T is the virtual timestamp.
+	T time.Duration `json:"-"`
+	// TS is T in seconds (the serialised form).
+	TS float64 `json:"t"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// Run labels the simulation run (environment/scheme/gateways/seed).
+	Run string `json:"run,omitempty"`
+	// Msg is the application message ID.
+	Msg uint64 `json:"msg"`
+	// Dev is the acting device (origin, sender, or dropper), -1 if none.
+	// 0 is a valid index, so these fields are always serialised.
+	Dev int `json:"dev"`
+	// Peer is the handover target device, -1 if none.
+	Peer int `json:"peer"`
+	// Gw is the receiving gateway, -1 if none.
+	Gw int `json:"gw"`
+	// Hops is the message's wireless hop count at this event.
+	Hops int `json:"hops"`
+	// DelayS is the end-to-end delay in seconds (deliver events only).
+	DelayS float64 `json:"delay_s,omitempty"`
+}
+
+// Sink consumes trace events. Implementations must be safe for concurrent
+// Emit calls: parallel sweep workers share one sink.
+type Sink interface {
+	// Emit writes one event.
+	Emit(Event) error
+	// Close flushes and releases the sink.
+	Close() error
+}
+
+// JSONLSink writes one JSON object per line. Safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLSink wraps w; if w is also an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes the event as one JSON line.
+func (s *JSONLSink) Emit(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	e.TS = e.T.Seconds()
+	b, err := json.Marshal(e)
+	if err == nil {
+		_, err = s.w.Write(b)
+	}
+	if err == nil {
+		err = s.w.WriteByte('\n')
+	}
+	s.err = err
+	return err
+}
+
+// Close flushes buffered lines and closes the underlying writer if owned.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.err != nil {
+		err = s.err
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// CSVSink writes events as comma-separated rows with a header:
+// t,kind,run,msg,dev,peer,gw,hops,delay_s. Safe for concurrent use.
+type CSVSink struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	err    error
+	header bool
+}
+
+// NewCSVSink wraps w; if w is also an io.Closer, Close closes it.
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes the event as one CSV row.
+func (s *CSVSink) Emit(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if !s.header {
+		s.header = true
+		if _, err := s.w.WriteString("t,kind,run,msg,dev,peer,gw,hops,delay_s\n"); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(s.w, "%s,%s,%q,%d,%d,%d,%d,%d,%s\n",
+		strconv.FormatFloat(e.T.Seconds(), 'g', -1, 64),
+		e.Kind, e.Run, e.Msg, e.Dev, e.Peer, e.Gw, e.Hops,
+		strconv.FormatFloat(e.DelayS, 'g', -1, 64))
+	s.err = err
+	return err
+}
+
+// Close flushes buffered rows and closes the underlying writer if owned.
+func (s *CSVSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.err != nil {
+		err = s.err
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MemSink buffers events in memory, for tests. Safe for concurrent use.
+type MemSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (s *MemSink) Emit(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.TS = e.T.Seconds()
+	s.events = append(s.events, e)
+	return nil
+}
+
+// Close is a no-op.
+func (s *MemSink) Close() error { return nil }
+
+// Events returns a copy of the captured events.
+func (s *MemSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Tracer samples and routes per-packet events to a Sink. A nil *Tracer is a
+// valid disabled tracer: Sampled reports false and Emit is a no-op, so the
+// hot path pays one nil check when tracing is off.
+//
+// Sampling is deterministic per message ID — every event of a sampled
+// message is emitted, so each traced packet's record is complete — and
+// independent of worker interleaving, so the same configuration always
+// traces the same packets.
+type Tracer struct {
+	sink  Sink
+	every uint64
+}
+
+// NewTracer traces one in every messages through sink (every < 1 means 1:
+// trace everything). A nil sink returns a nil (disabled) tracer.
+func NewTracer(sink Sink, every int) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &Tracer{sink: sink, every: uint64(every)}
+}
+
+// Sampled reports whether the message is traced. The decision mixes the ID
+// through a SplitMix64 finaliser so sampling is unbiased even for the
+// sequential IDs the simulator assigns.
+func (t *Tracer) Sampled(msgID uint64) bool {
+	if t == nil {
+		return false
+	}
+	if t.every == 1 {
+		return true
+	}
+	z := msgID + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return (z^(z>>31))%t.every == 0
+}
+
+// Emit forwards one event of an already-Sampled message to the sink. Sink
+// errors are sticky in the sink; Emit drops them here to keep the simulation
+// path infallible.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	_ = t.sink.Emit(e)
+}
+
+// Close closes the underlying sink.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	return t.sink.Close()
+}

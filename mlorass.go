@@ -36,7 +36,9 @@ import (
 	"mlorass/internal/geo"
 	"mlorass/internal/lorawan"
 	"mlorass/internal/routing"
+	"mlorass/internal/runstore"
 	"mlorass/internal/stats"
+	"mlorass/internal/telemetry"
 	"mlorass/internal/tfl"
 )
 
@@ -114,6 +116,44 @@ type SweepPoint = experiment.SweepPoint
 // Summary is a streaming mean/stddev/min/max accumulator.
 type Summary = stats.Summary
 
+// TelemetryOptions selects a run's telemetry behaviour (recorders on by
+// default; optional sampled per-packet trace).
+type TelemetryOptions = experiment.TelemetryOptions
+
+// TelemetrySnapshot is one run's streamed metrics: counters plus the
+// exactly-mergeable delay and airtime histograms.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryHistogram is the fixed-layout log-linear histogram behind the
+// pooled p50/p95/p99 columns; histograms merge exactly across runs.
+type TelemetryHistogram = telemetry.Histogram
+
+// TraceEvent is one per-packet trace record; TraceSink consumes them.
+type TraceEvent = telemetry.Event
+
+// TraceSink consumes trace events (JSONL, CSV, or in-memory).
+type TraceSink = telemetry.Sink
+
+// NewTracer builds a sampling per-packet tracer over a sink (one in every
+// messages; every < 1 traces everything). Wire it into
+// Config.Telemetry.Trace.
+func NewTracer(sink TraceSink, every int) *telemetry.Tracer {
+	return telemetry.NewTracer(sink, every)
+}
+
+// NewJSONLTraceSink writes one JSON trace line per event to w.
+func NewJSONLTraceSink(w io.Writer) TraceSink { return telemetry.NewJSONLSink(w) }
+
+// NewCSVTraceSink writes trace events as CSV rows to w.
+func NewCSVTraceSink(w io.Writer) TraceSink { return telemetry.NewCSVSink(w) }
+
+// RunStore is the content-addressed on-disk run-artifact store behind
+// resumable sweeps (SweepOptions.Store).
+type RunStore = runstore.Store
+
+// OpenRunStore opens (creating if needed) a run-artifact store directory.
+func OpenRunStore(dir string) (*RunStore, error) { return runstore.Open(dir) }
+
 // DefaultConfig returns the paper-shaped 24-hour scenario (density-
 // preserving 4x downscale of the 600 km² London world; see DESIGN.md).
 func DefaultConfig() Config { return experiment.DefaultConfig() }
@@ -165,6 +205,12 @@ func Fig8AggTable(points []AggregatePoint) string  { return experiment.Fig8AggTa
 func Fig9AggTable(points []AggregatePoint) string  { return experiment.Fig9AggTable(points) }
 func Fig12AggTable(points []AggregatePoint) string { return experiment.Fig12AggTable(points) }
 func Fig13AggTable(points []AggregatePoint) string { return experiment.Fig13AggTable(points) }
+
+// Fig8PercentilesAggTable renders pooled p50/p95/p99 end-to-end delay
+// columns from the exactly merged per-replication histograms.
+func Fig8PercentilesAggTable(points []AggregatePoint) string {
+	return experiment.Fig8PercentilesAggTable(points)
+}
 
 // GatewaySweep returns the gateway counts used by the figure sweeps.
 func GatewaySweep() []int { return experiment.GatewaySweep() }

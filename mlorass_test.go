@@ -143,3 +143,48 @@ func TestPublicGatewaySweepMatchesTables(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicTelemetryAndStore exercises the telemetry + runstore surface
+// through the public API: a traced run captures per-packet events and a
+// store-backed sweep round-trips without re-simulating.
+func TestPublicTelemetryAndStore(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := mlorass.QuickConfig()
+	cfg.Duration = 2 * time.Hour
+	cfg.Telemetry.Trace = mlorass.NewTracer(mlorass.NewJSONLTraceSink(&buf), 1)
+	res, err := mlorass.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry.Delay.N() != uint64(res.Delivered) {
+		t.Fatalf("delay histogram %d samples, want %d", res.Telemetry.Delay.N(), res.Delivered)
+	}
+	if p99 := res.Telemetry.Delay.Percentile(99); p99 <= 0 || p99 > res.Delay.Max() {
+		t.Fatalf("p99 = %v outside (0, %v]", p99, res.Delay.Max())
+	}
+	if cfg.Telemetry.Trace.Close() != nil || buf.Len() == 0 {
+		t.Fatal("trace sink captured nothing")
+	}
+
+	store, err := mlorass.OpenRunStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mlorass.QuickConfig()
+	base.Duration = time.Hour
+	opts := mlorass.SweepOptions{Workers: 2, Reps: 1, Store: store}
+	first, err := mlorass.ParallelSweep(base, mlorass.Urban, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := mlorass.ParallelSweep(base, mlorass.Urban, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Hits == 0 || st.Puts != uint64(len(first)) {
+		t.Fatalf("store stats %+v: second sweep did not reuse artefacts", st)
+	}
+	if mlorass.Fig8PercentilesAggTable(second) != mlorass.Fig8PercentilesAggTable(first) {
+		t.Fatal("cached percentile table differs")
+	}
+}
