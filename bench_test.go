@@ -392,3 +392,21 @@ func BenchmarkRunStoreSweep(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFullDayRun measures one full-day paper-config run end to end:
+// the DefaultConfig 24-hour ROBC scenario, the workload every figure sweep
+// is built from. This is the headline wall-clock number of the hot-path
+// optimisation work; run it with -benchtime 1x (one iteration is ~tens of
+// seconds) and compare BENCH_*.json artefacts across commits.
+func BenchmarkFullDayRun(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-day run takes tens of seconds; skipped under -short")
+	}
+	var delivered int
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultConfig()
+		cfg.Scheme = routing.SchemeROBC
+		delivered = runBench(b, cfg).Delivered
+	}
+	b.ReportMetric(float64(delivered), "delivered")
+}

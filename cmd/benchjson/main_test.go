@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -80,5 +82,89 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 	if len(art.Benchmarks) != 0 {
 		t.Fatalf("noise parsed as benchmarks: %+v", art.Benchmarks)
+	}
+}
+
+// TestDiff covers the artefact comparison: shared benchmarks get ns/op
+// deltas, one-sided benchmarks are reported as new/gone, and package
+// qualification keeps same-named benchmarks apart.
+func TestDiff(t *testing.T) {
+	base := &Artifact{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", Pkg: "p1", Metrics: []Metric{{Value: 200, Unit: "ns/op"}}},
+		{Name: "BenchmarkGone-8", Pkg: "p1", Metrics: []Metric{{Value: 50, Unit: "ns/op"}}},
+		{Name: "BenchmarkA-8", Pkg: "p2", Metrics: []Metric{{Value: 1000, Unit: "ns/op"}}},
+	}}
+	cur := &Artifact{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", Pkg: "p1", Metrics: []Metric{{Value: 100, Unit: "ns/op"}}},
+		{Name: "BenchmarkA-8", Pkg: "p2", Metrics: []Metric{{Value: 1500, Unit: "ns/op"}}},
+		{Name: "BenchmarkNew-8", Pkg: "p1", Metrics: []Metric{{Value: 10, Unit: "ns/op"}}},
+	}}
+	diffs := Diff(base, cur)
+	if len(diffs) != 4 {
+		t.Fatalf("diff entries = %d, want 4: %+v", len(diffs), diffs)
+	}
+	if d := diffs[0]; !d.InBoth() || d.DeltaPct() != -50 {
+		t.Fatalf("p1/BenchmarkA = %+v, want -50%%", d)
+	}
+	if d := diffs[1]; !d.InBoth() || d.DeltaPct() != 50 {
+		t.Fatalf("p2/BenchmarkA = %+v, want +50%%", d)
+	}
+	if d := diffs[2]; d.InBoth() || d.NewNs != 10 {
+		t.Fatalf("BenchmarkNew = %+v, want new-only", d)
+	}
+	if d := diffs[3]; d.InBoth() || d.OldNs != 50 {
+		t.Fatalf("BenchmarkGone = %+v, want baseline-only", d)
+	}
+}
+
+// TestRunRegressGate covers the CLI perf gate end to end: a baseline diff
+// within threshold passes, a regression beyond it fails, and one-sided
+// benchmarks never trip the gate.
+func TestRunRegressGate(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifact := func(name string, ns float64) string {
+		path := dir + "/" + name
+		art := &Artifact{Benchmarks: []Benchmark{
+			{Name: "BenchmarkHot-8", Iterations: 1, Metrics: []Metric{{Value: ns, Unit: "ns/op"}}},
+			{Name: "BenchmarkOnly" + name + "-8", Iterations: 1, Metrics: []Metric{{Value: 5, Unit: "ns/op"}}},
+		}}
+		data, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := writeArtifact("old.json", 100)
+	slowPath := writeArtifact("slow.json", 140)
+	okPath := writeArtifact("ok.json", 110)
+
+	if err := run([]string{"-injson", okPath, "-baseline", oldPath, "-regress", "25"}, strings.NewReader("")); err != nil {
+		t.Fatalf("10%% regression tripped a 25%% gate: %v", err)
+	}
+	err := run([]string{"-injson", slowPath, "-baseline", oldPath, "-regress", "25"}, strings.NewReader(""))
+	if err == nil {
+		t.Fatal("40% regression passed a 25% gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkHot-8") {
+		t.Fatalf("gate error %q does not name the regressed benchmark", err)
+	}
+	// Report-only mode (no -regress) never fails.
+	if err := run([]string{"-injson", slowPath, "-baseline", oldPath}, strings.NewReader("")); err != nil {
+		t.Fatalf("report-only diff failed: %v", err)
+	}
+	// Text input combines with the gate: parse, write artefact, diff.
+	outPath := dir + "/out.json"
+	if err := run([]string{"-out", outPath, "-baseline", oldPath, "-regress", "25"},
+		strings.NewReader("BenchmarkHot-8 10 105 ns/op\n")); err != nil {
+		t.Fatalf("text-input gate run failed: %v", err)
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatalf("artefact not written in gate mode: %v", err)
+	}
+	if err := run([]string{"-regress", "25"}, strings.NewReader("")); err == nil {
+		t.Fatal("-regress without -baseline accepted")
 	}
 }

@@ -28,6 +28,12 @@
 //
 //	expsweep -fig 8 -quick -reps 5 -store .runcache -percentiles
 //	expsweep -fig 9 -quick -trace trace.jsonl -trace-sample 100
+//
+// For performance work, -cpuprofile and -memprofile write pprof files on
+// clean exit (see README "Performance"):
+//
+//	expsweep -fig 8 -quick -cpuprofile cpu.prof -memprofile mem.prof
+//	go tool pprof -top cpu.prof
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -71,6 +78,8 @@ func run(args []string) (err error) {
 		traceFormat = fs.String("trace-format", "jsonl", "trace encoding: jsonl | csv")
 		traceSample = fs.Int("trace-sample", 1, "trace one in N messages (1 = every message; sampled messages trace completely)")
 		percentiles = fs.Bool("percentiles", false, "also print pooled p50/p95/p99 delay columns for the figure sweeps")
+		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file on clean exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +104,43 @@ func run(args []string) (err error) {
 	}
 	if *traceFile == "" && *traceSample != 1 {
 		fmt.Fprintln(os.Stderr, "expsweep: note: -trace-sample has no effect without -trace")
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("opening -cpuprofile file: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing -cpuprofile file: %w", cerr)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		// Probe writability up front so a typo fails before a long sweep.
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			return fmt.Errorf("opening -memprofile file: %w", ferr)
+		}
+		defer func() {
+			if err != nil {
+				f.Close()
+				return // failed run: no heap snapshot
+			}
+			runtime.GC() // settle allocations so the profile shows live heap
+			if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+				err = fmt.Errorf("writing -memprofile: %w", werr)
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing -memprofile file: %w", cerr)
+			}
+		}()
 	}
 
 	base := experiment.DefaultConfig()

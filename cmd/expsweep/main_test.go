@@ -79,3 +79,44 @@ func TestFig7Runs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProfileFlags covers the -cpuprofile/-memprofile satellite: a run with
+// both flags writes two non-empty pprof files on clean exit, and unwritable
+// paths fail before any simulation starts.
+func TestProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig 7 to completion")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	old := os.Stdout
+	os.Stdout, _ = os.Open(os.DevNull)
+	defer func() { os.Stdout = old }()
+	if err := run([]string{"-fig", "7", "-quick", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestProfileFlagBadPaths checks that profile files in missing directories
+// fail fast with descriptive errors.
+func TestProfileFlagBadPaths(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "missing", "p.prof")
+	err := run([]string{"-fig", "7", "-cpuprofile", missing})
+	if err == nil || !strings.Contains(err.Error(), "-cpuprofile") {
+		t.Fatalf("bad -cpuprofile error = %v", err)
+	}
+	err = run([]string{"-fig", "7", "-memprofile", missing})
+	if err == nil || !strings.Contains(err.Error(), "-memprofile") {
+		t.Fatalf("bad -memprofile error = %v", err)
+	}
+}

@@ -8,10 +8,18 @@
 // harness) run on top of a single Simulator and therefore share one totally
 // ordered virtual timeline, which keeps full experiment runs bit-for-bit
 // reproducible for a given seed.
+//
+// The queue is an index-based 4-ary heap over a slab of item values with a
+// free-list: Schedule, Cancel, and pop move int32 slot indices instead of
+// pointers and allocate nothing in steady state (the slab and heap arrays
+// grow amortised, then are reused for the rest of the run). Handles carry
+// (slot, sequence), so cancellation is an O(1) slab lookup with the sequence
+// number guarding against slot reuse — no side map. Cancelled events are
+// marked in place and compacted out of the heap once they exceed half of it,
+// so Cancel-heavy workloads keep the queue bounded by the pending count.
 package eventsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -25,56 +33,23 @@ var ErrStopped = errors.New("eventsim: simulation stopped")
 type Event func(now time.Duration)
 
 // Handle identifies a scheduled event so it can be cancelled. The zero Handle
-// is invalid.
+// is invalid. Handles stay cheap to copy: a slab slot plus the scheduling
+// sequence number that guards against the slot having been reused.
 type Handle struct {
-	seq uint64
+	slot int32
+	seq  uint64
 }
 
 // Valid reports whether h refers to a scheduled (possibly executed) event.
 func (h Handle) Valid() bool { return h.seq != 0 }
 
+// item is one slab entry. Entries are recycled through the free-list once
+// their event has executed, been cancelled, or been compacted away.
 type item struct {
 	at       time.Duration
 	seq      uint64
 	fn       Event
 	canceled bool
-	index    int // heap index, -1 once popped
-}
-
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	it, ok := x.(*item)
-	if !ok {
-		return
-	}
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
 }
 
 // Probe observes kernel activity: OnEvent is invoked after every executed
@@ -85,44 +60,129 @@ type Probe interface {
 	OnEvent(now time.Duration)
 }
 
+// compactMinHeap is the heap size below which cancellation never triggers
+// compaction: rebuilding a tiny heap saves nothing.
+const compactMinHeap = 64
+
 // Simulator is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; simulations that need parallelism should run multiple
 // independent Simulators.
 type Simulator struct {
 	now      time.Duration
-	queue    eventHeap
+	heap     []heapEnt // 4-ary min-heap ordered by (at, seq)
+	items    []item    // slab backing every scheduled event
+	free     []int32   // recycled slab slots
+	canceled int       // cancelled entries still occupying heap positions
 	nextSeq  uint64
-	byHandle map[uint64]*item
 	stopped  bool
 	executed uint64
 	probe    Probe
 }
 
+// heapEnt is one heap position. The ordering key (at, seq) is carried
+// inline so sift comparisons stay within the contiguous heap array instead
+// of dereferencing the slab.
+type heapEnt struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+}
+
+// before orders heap entries by (time, sequence).
+func (e heapEnt) before(o heapEnt) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
 // New returns an empty simulator positioned at virtual time zero.
 func New() *Simulator {
-	return &Simulator{byHandle: make(map[uint64]*item)}
+	return &Simulator{}
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
 
 // Pending returns the number of events still queued (excluding cancelled
-// events not yet garbage-collected from the heap).
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, it := range s.queue {
-		if !it.canceled {
-			n++
-		}
-	}
-	return n
-}
+// events not yet compacted out of the heap).
+func (s *Simulator) Pending() int { return len(s.heap) - s.canceled }
+
+// QueueLen returns the number of heap entries physically present, including
+// cancelled events awaiting compaction — a diagnostic for queue-bound tests.
+func (s *Simulator) QueueLen() int { return len(s.heap) }
 
 // Executed returns how many events have run so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
 // SetProbe installs (or, with nil, removes) the kernel activity probe.
 func (s *Simulator) SetProbe(p Probe) { s.probe = p }
+
+// siftUp restores the heap property from position i towards the root.
+// FIFO among same-instant events: sequence numbers are unique, so (at, seq)
+// is a total order and the pop sequence is independent of the heap's
+// internal arrangement.
+func (s *Simulator) siftUp(i int) {
+	e := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.before(s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		i = parent
+	}
+	s.heap[i] = e
+}
+
+// siftDown restores the heap property from position i towards the leaves.
+func (s *Simulator) siftDown(i int) {
+	n := len(s.heap)
+	e := s.heap[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		min := first
+		for c := first + 1; c < last; c++ {
+			if s.heap[c].before(s.heap[min]) {
+				min = c
+			}
+		}
+		if !s.heap[min].before(e) {
+			break
+		}
+		s.heap[i] = s.heap[min]
+		i = min
+	}
+	s.heap[i] = e
+}
+
+// alloc takes a slab slot from the free-list, growing the slab only when it
+// is exhausted.
+func (s *Simulator) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return slot
+	}
+	s.items = append(s.items, item{})
+	return int32(len(s.items) - 1)
+}
+
+// release returns a slab slot to the free-list, dropping the callback
+// reference so the closure can be collected.
+func (s *Simulator) release(slot int32) {
+	it := &s.items[slot]
+	it.fn = nil
+	it.canceled = false
+	s.free = append(s.free, slot)
+}
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // returns an error: the kernel never rewinds the clock.
@@ -134,10 +194,15 @@ func (s *Simulator) At(at time.Duration, fn Event) (Handle, error) {
 		return Handle{}, fmt.Errorf("eventsim: schedule at %v before now %v", at, s.now)
 	}
 	s.nextSeq++
-	it := &item{at: at, seq: s.nextSeq, fn: fn}
-	heap.Push(&s.queue, it)
-	s.byHandle[it.seq] = it
-	return Handle{seq: it.seq}, nil
+	slot := s.alloc()
+	it := &s.items[slot]
+	it.at = at
+	it.seq = s.nextSeq
+	it.fn = fn
+	it.canceled = false
+	s.heap = append(s.heap, heapEnt{at: at, seq: s.nextSeq, slot: slot})
+	s.siftUp(len(s.heap) - 1)
+	return Handle{slot: slot, seq: it.seq}, nil
 }
 
 // After schedules fn to run after delay d from the current virtual time.
@@ -151,15 +216,57 @@ func (s *Simulator) After(d time.Duration, fn Event) (Handle, error) {
 }
 
 // Cancel removes a scheduled event. It reports whether the event was still
-// pending (false when already executed, cancelled, or invalid).
+// pending (false when already executed, cancelled, or invalid). The entry is
+// marked in place (O(1)); the heap is compacted once cancelled entries
+// outnumber live ones, so cancellation never leaks queue space.
 func (s *Simulator) Cancel(h Handle) bool {
-	it, ok := s.byHandle[h.seq]
-	if !ok || it.canceled {
+	if h.seq == 0 || h.slot < 0 || int(h.slot) >= len(s.items) {
+		return false
+	}
+	it := &s.items[h.slot]
+	if it.seq != h.seq || it.canceled || it.fn == nil {
 		return false
 	}
 	it.canceled = true
-	delete(s.byHandle, h.seq)
+	it.fn = nil
+	s.canceled++
+	if s.canceled*2 > len(s.heap) && len(s.heap) >= compactMinHeap {
+		s.compact()
+	}
 	return true
+}
+
+// compact removes every cancelled entry from the heap in one pass and
+// re-establishes the heap property bottom-up. The (time, sequence) order is
+// total, so the pop sequence after compaction is identical to the lazy
+// skip-on-pop behaviour.
+func (s *Simulator) compact() {
+	kept := s.heap[:0]
+	for _, e := range s.heap {
+		if s.items[e.slot].canceled {
+			s.release(e.slot)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.heap = kept
+	s.canceled = 0
+	for i := (len(s.heap) - 2) >> 2; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// popMin removes and returns the heap's minimum entry. Callers check
+// emptiness first.
+func (s *Simulator) popMin() heapEnt {
+	e := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	return e
 }
 
 // Stop halts the run loop after the currently executing event returns.
@@ -168,20 +275,23 @@ func (s *Simulator) Stop() { s.stopped = true }
 // step executes the next pending event. It reports false when the queue is
 // exhausted.
 func (s *Simulator) step() bool {
-	for len(s.queue) > 0 {
-		top, ok := heap.Pop(&s.queue).(*item)
-		if !ok {
-			return false
-		}
-		if top.canceled {
+	for len(s.heap) > 0 {
+		e := s.popMin()
+		it := &s.items[e.slot]
+		if it.canceled {
+			s.canceled--
+			s.release(e.slot)
 			continue
 		}
-		delete(s.byHandle, top.seq)
-		s.now = top.at
+		at, fn := it.at, it.fn
+		// Free the slot before running the callback: events commonly
+		// reschedule, and reusing the hot slot keeps the slab compact.
+		s.release(e.slot)
+		s.now = at
 		s.executed++
-		top.fn(s.now)
+		fn(at)
 		if s.probe != nil {
-			s.probe.OnEvent(top.at)
+			s.probe.OnEvent(at)
 		}
 		return true
 	}
@@ -206,14 +316,8 @@ func (s *Simulator) Run() error {
 func (s *Simulator) RunUntil(horizon time.Duration) error {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.queue) == 0 {
-			break
-		}
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at > horizon {
+		next, ok := s.peek()
+		if !ok || next > horizon {
 			break
 		}
 		s.step()
@@ -227,15 +331,19 @@ func (s *Simulator) RunUntil(horizon time.Duration) error {
 	return nil
 }
 
-func (s *Simulator) peek() *item {
-	for len(s.queue) > 0 {
-		top := s.queue[0]
-		if !top.canceled {
-			return top
+// peek returns the scheduled time of the next live event, discarding
+// cancelled entries from the top of the heap along the way.
+func (s *Simulator) peek() (time.Duration, bool) {
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		if !s.items[e.slot].canceled {
+			return e.at, true
 		}
-		heap.Pop(&s.queue)
+		s.popMin()
+		s.canceled--
+		s.release(e.slot)
 	}
-	return nil
+	return 0, false
 }
 
 // Ticker invokes fn every interval starting at start until the simulation

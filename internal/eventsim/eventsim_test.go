@@ -346,3 +346,130 @@ func TestProbeObservesEveryExecutedEvent(t *testing.T) {
 		t.Fatal("probe saw events after removal")
 	}
 }
+
+// TestCancelHeavyQueueBounded is the cancelled-event-leak regression test:
+// a workload that schedules far-future events and cancels nearly all of them
+// (the duty-cycle retry pattern) must keep the physical queue bounded by the
+// live pending count — cancelled entries are compacted, not leaked until
+// popped.
+func TestCancelHeavyQueueBounded(t *testing.T) {
+	s := New()
+	const live = 100
+	var keep []Handle
+	for i := 0; i < live; i++ {
+		h, err := s.At(time.Hour+time.Duration(i)*time.Second, func(time.Duration) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep = append(keep, h)
+	}
+	for round := 0; round < 1000; round++ {
+		var hs []Handle
+		for i := 0; i < 64; i++ {
+			h, err := s.At(2*time.Hour+time.Duration(i)*time.Second, func(time.Duration) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			if !s.Cancel(h) {
+				t.Fatal("cancel of pending event failed")
+			}
+		}
+		if s.Pending() != live {
+			t.Fatalf("round %d: pending = %d, want %d", round, s.Pending(), live)
+		}
+		// The compaction threshold is 1/2, so the physical queue may
+		// carry up to one cancelled entry per live one (plus the batch
+		// in flight), but must never grow round over round.
+		if max := 2*live + 2*64 + 1; s.QueueLen() > max {
+			t.Fatalf("round %d: queue len %d exceeds bound %d — cancelled events leak", round, s.QueueLen(), max)
+		}
+	}
+	for _, h := range keep {
+		if !s.Cancel(h) {
+			t.Fatal("cancel of long-lived event failed")
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executed() != 0 {
+		t.Fatalf("executed %d cancelled events", s.Executed())
+	}
+}
+
+// TestCancelAfterSlotReuse locks the handle-staleness guard: once an event
+// has executed (or been cancelled) its slab slot may be reused, and the old
+// handle must not cancel the new occupant.
+func TestCancelAfterSlotReuse(t *testing.T) {
+	s := New()
+	ran := 0
+	h1, err := s.At(time.Second, func(time.Duration) { ran++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// h1's slot is now free; the next schedule reuses it.
+	h2, err := s.At(2*time.Second, func(time.Duration) { ran++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cancel(h1) {
+		t.Fatal("stale handle cancelled a reused slot")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if s.Cancel(h2) {
+		t.Fatal("cancel of executed event succeeded")
+	}
+}
+
+// TestKernelZeroAllocSteadyState locks the zero-allocation invariant of the
+// kernel hot path: once the slab and heap have grown to the workload's
+// standing size, schedule/pop cycles and schedule/cancel pairs allocate
+// nothing.
+func TestKernelZeroAllocSteadyState(t *testing.T) {
+	s := New()
+	fn := Event(func(time.Duration) {})
+	for i := 0; i < 512; i++ {
+		if _, err := s.At(time.Duration(i)*time.Millisecond, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the slab/heap/free-list past their steady-state size.
+	for i := 0; i < 1024; i++ {
+		if _, err := s.After(time.Second, fn); err != nil {
+			t.Fatal(err)
+		}
+		s.step()
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := s.After(time.Second, fn); err != nil {
+			t.Fatal(err)
+		}
+		if !s.step() {
+			t.Fatal("queue drained")
+		}
+	}); n != 0 {
+		t.Fatalf("schedule/pop allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		h, err := s.After(time.Hour, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Cancel(h) {
+			t.Fatal("cancel failed")
+		}
+	}); n != 0 {
+		t.Fatalf("schedule/cancel allocates %v per op, want 0", n)
+	}
+}

@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"mlorass/internal/core"
@@ -25,6 +24,17 @@ type device struct {
 	id   int
 	node mobility.Model
 
+	// cursor is the node's stateful trajectory reader: bit-identical to
+	// node.PositionAt but resuming the segment walk between the
+	// near-monotonic queries the simulator issues. memo* cache the last
+	// query, so one instant's repeated position reads (transmit, range
+	// checks, overhearing) resolve once.
+	cursor    mobility.Cursor
+	memoAt    time.Duration
+	memoPos   geo.Point
+	memoOK    bool
+	memoValid bool
+
 	// failed marks a device permanently lost to mid-run churn (disruption
 	// layer): it stops generating, transmitting, and overhearing.
 	failed bool
@@ -41,6 +51,25 @@ type device struct {
 	busy           bool // a transmission is on the air
 	retryScheduled bool
 
+	// Prebuilt event callbacks: the slot tick, the duty-cycle retry, and
+	// the transmission resolution are scheduled millions of times per
+	// run, so each device allocates its closures once instead of one per
+	// scheduling.
+	slotFn    eventsim.Event
+	retryFn   eventsim.Event
+	resolveFn eventsim.Event
+
+	// bundle is the device's frame scratch: the in-flight transmission's
+	// messages live here (at most one transmission is on the air per
+	// device), reused across transmissions.
+	bundle []lorawan.Message
+
+	// Pending transmission state consumed by resolveFn: the frame on the
+	// air, its radio handle, and its destination (-1 = sink uplink).
+	pendTx    *radio.Transmission
+	pendFrame lorawan.Frame
+	pendDest  int
+
 	// Pending handover decision: the next transmission slot is addressed
 	// to fwdTarget instead of the sinks (Sec. IV-A: the handover rides
 	// the device's regular duty-cycled broadcast). The decision expires
@@ -50,8 +79,11 @@ type device struct {
 	fwdExpiry time.Duration
 
 	// noSendBack holds neighbours this device received data from; it is
-	// cleared on the next successful sink contact (Sec. V-B2).
-	noSendBack map[int]struct{}
+	// cleared on the next successful sink contact (Sec. V-B2). A small
+	// sorted-insertion-free id list: membership is a linear scan over the
+	// handful of neighbours met since the last sink contact, cheaper and
+	// allocation-free compared to a map.
+	noSendBack []int32
 
 	// acked records whether any uplink was acknowledged since the last
 	// slot tick; the estimator consumes and resets it (Eq. 3's contact
@@ -86,9 +118,20 @@ type sim struct {
 	// one full bundle per duty-cycled transmission opportunity.
 	contactCapacityPPS float64
 
+	// activeList holds the in-service device ids in ascending order
+	// (sorted insertion on activation), so spatial-index rebuilds consume
+	// ids pre-sorted and candidate queries come back ordered for free.
 	activeList []int
 	activeDead int
 	ix         *devIndex
+	// posFn is the prebuilt position source for index rebuilds; it reads
+	// the rebuild instant from ixNow so no per-rebuild closure exists.
+	posFn func(id int) (geo.Point, bool)
+	ixNow time.Duration
+
+	// gwCands is the gateway-candidate scratch reused by every
+	// receiveAtGateways call.
+	gwCands []gwCand
 
 	// gwUp tracks per-gateway availability; nil when the disruption layer
 	// is off (every gateway permanently up, the paper's setting).
@@ -106,7 +149,10 @@ type sim struct {
 	// deterministically within range: the paper's FLoRa substrate has no
 	// device-to-device PHY, so its handovers and overhearing operate
 	// above the collision model, and only gateway uplinks contend.
+	// d2dLoss caches the medium's path-loss model so the overhear loop
+	// avoids copying the whole medium config per candidate.
 	d2dShadow *rng.Source
+	d2dLoss   radio.PathLoss
 
 	// Forwarding diagnostics.
 	handoverAttempts  uint64
@@ -216,6 +262,7 @@ func Run(cfg Config) (*Result, error) {
 		throughput:         throughput,
 		ix:                 newDevIndex(cfg.D2DRangeM, 30*time.Second, idxSpeed),
 		d2dShadow:          rng.New(cfg.Seed ^ 0x0d2d),
+		d2dLoss:            loss,
 	}
 	if !cfg.Telemetry.Disabled {
 		s.rec = telemetry.NewRecorder()
@@ -248,14 +295,28 @@ func Run(cfg Config) (*Result, error) {
 		d := &device{
 			id:             i,
 			node:           fleet.Node(i),
+			cursor:         mobility.NewCursor(fleet.Node(i)),
 			queue:          lorawan.NewQueue(cfg.QueueMax),
 			est:            est,
 			duty:           lorawan.NewDutyGovernor(cfg.DutyCycle),
 			rnd:            rootRNG.Split(),
-			noSendBack:     make(map[int]struct{}),
+			bundle:         make([]lorawan.Message, 0, lorawan.MaxBundle),
+			pendDest:       -1,
 			fwdTarget:      -1,
 			listenFraction: 1,
 		}
+		d.slotFn = func(now time.Duration) {
+			if d.failed {
+				return // churned device: the slot chain ends here
+			}
+			s.tick(d, now)
+			s.scheduleTick(d, now+s.cfg.MsgInterval)
+		}
+		d.retryFn = func(later time.Duration) {
+			d.retryScheduled = false
+			s.tryUplink(d, later)
+		}
+		d.resolveFn = func(end time.Duration) { s.resolve(d, end) }
 		s.devices[i] = d
 
 		start, end := d.node.Window()
@@ -278,6 +339,20 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		s.scheduleTick(d, first)
+	}
+
+	s.posFn = func(id int) (geo.Point, bool) {
+		z := s.devices[id]
+		if p, ok := s.devPos(z, s.ixNow); ok {
+			return p, true
+		}
+		// A node asleep at rebuild time but with a known fixed position
+		// stays indexed: it may wake before the next rebuild, and the
+		// overhear loop re-checks live activity anyway.
+		if sm, ok := z.node.(mobility.StaticModel); ok && !z.failed {
+			return sm.FixedPosition(), true
+		}
+		return geo.Point{}, false
 	}
 
 	if err := s.scheduleDisruption(); err != nil {
@@ -335,9 +410,30 @@ func (s *sim) scheduleDisruption() error {
 	return nil
 }
 
+// devPos returns device d's position at the given instant through its
+// trajectory cursor, memoising the last query so one instant's repeated
+// reads resolve once. Bit-identical to d.node.PositionAt(at).
+func (s *sim) devPos(d *device, at time.Duration) (geo.Point, bool) {
+	if d.memoValid && d.memoAt == at {
+		return d.memoPos, d.memoOK
+	}
+	p, ok := d.cursor.PositionAt(at)
+	d.memoAt, d.memoPos, d.memoOK, d.memoValid = at, p, ok, true
+	return p, ok
+}
+
 func (s *sim) activate(d *device) {
 	d.everActive = true
-	s.activeList = append(s.activeList, d.id)
+	// Sorted insertion keeps the active list ascending by id; most
+	// activations append (ids tie-break in creation order at equal
+	// instants), so the memmove is rare and short.
+	i := len(s.activeList)
+	for i > 0 && s.activeList[i-1] > d.id {
+		i--
+	}
+	s.activeList = append(s.activeList, 0)
+	copy(s.activeList[i+1:], s.activeList[i:])
+	s.activeList[i] = d.id
 }
 
 func (s *sim) deactivate(d *device) {
@@ -361,19 +457,14 @@ func (s *sim) deactivate(d *device) {
 	}
 }
 
-// scheduleTick arms the device's next Δt slot.
+// scheduleTick arms the device's next Δt slot (the prebuilt slotFn: tick,
+// then re-arm).
 func (s *sim) scheduleTick(d *device, at time.Duration) {
 	_, end := d.node.Window()
 	if at >= s.cfg.Duration || at >= end {
 		return
 	}
-	if _, err := s.es.At(at, func(now time.Duration) {
-		if d.failed {
-			return // churned device: the slot chain ends here
-		}
-		s.tick(d, now)
-		s.scheduleTick(d, now+s.cfg.MsgInterval)
-	}); err != nil {
+	if _, err := s.es.At(at, d.slotFn); err != nil {
 		// Scheduling in the past cannot happen from a monotone tick
 		// chain; ignore defensively.
 		return
@@ -451,10 +542,7 @@ func (s *sim) tryUplink(d *device, now time.Duration) {
 	if !d.duty.CanSend(now) {
 		if !d.retryScheduled {
 			d.retryScheduled = true
-			if _, err := s.es.At(d.duty.NextFree(), func(later time.Duration) {
-				d.retryScheduled = false
-				s.tryUplink(d, later)
-			}); err != nil {
+			if _, err := s.es.At(d.duty.NextFree(), d.retryFn); err != nil {
 				d.retryScheduled = false
 			}
 		}
@@ -482,31 +570,33 @@ func (s *sim) stillInRange(d *device, dest int, now time.Duration) bool {
 	if target.failed {
 		return false
 	}
-	dpos, ok1 := d.node.PositionAt(now)
-	tpos, ok2 := target.node.PositionAt(now)
+	dpos, ok1 := s.devPos(d, now)
+	tpos, ok2 := s.devPos(target, now)
 	return ok1 && ok2 && dpos.Dist(tpos) <= s.cfg.D2DRangeM
 }
 
 // transmit puts one frame on the air. dest is -1 for a sink-addressed uplink
 // or a device index for a device-to-device handover; count bounds the bundle.
+// The bundle lives in the device's reusable scratch (one transmission in
+// flight per device), and resolution state rides the device so the prebuilt
+// resolveFn closure needs no per-transmission capture.
 func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
-	pos, ok := d.node.PositionAt(now)
+	pos, ok := s.devPos(d, now)
 	if !ok {
 		return
 	}
 	if count > lorawan.MaxBundle {
 		count = lorawan.MaxBundle
 	}
-	var bundle []lorawan.Message
+	bundle := d.bundle[:0]
 	if dest < 0 {
-		bundle = d.queue.PopN(count)
+		bundle = d.queue.PopNInto(count, bundle)
 	} else {
 		// The no-send-back rule: never return a message to the device
 		// it came from.
-		bundle = d.queue.PopEligible(count, func(m lorawan.Message) bool {
-			return m.Via != dest
-		})
+		bundle = d.queue.PopNotViaInto(count, dest, bundle)
 	}
+	d.bundle = bundle[:0]
 	if len(bundle) == 0 {
 		return
 	}
@@ -520,7 +610,7 @@ func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
 		AdvertisedQueueLen: d.queue.Len() + len(bundle),
 	}
 	airtime := s.phy.Airtime(frame.PayloadBytes())
-	tx := s.medium.Begin(d.id, pos, s.cfg.TxPowerDBm, now, now+airtime, frame)
+	tx := s.medium.Begin(d.id, pos, s.cfg.TxPowerDBm, now, now+airtime, nil)
 
 	d.busy = true
 	d.duty.Record(now, airtime)
@@ -530,20 +620,27 @@ func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
 	s.rec.AddFrame()
 	s.rec.ObserveAirtime(airtime.Seconds())
 
-	if _, err := s.es.At(now+airtime, func(end time.Duration) {
-		s.resolve(d, tx, frame, dest, end)
-	}); err != nil {
+	d.pendTx = tx
+	d.pendFrame = frame
+	d.pendDest = dest
+	if _, err := s.es.At(now+airtime, d.resolveFn); err != nil {
 		// Unreachable for positive airtime; restore queue state.
 		d.busy = false
+		d.pendTx = nil
 		d.queue.PushFront(bundle)
 	}
 }
 
 // resolve completes a transmission: gateway reception and ACK, then
 // device-to-device handover or retransmission bookkeeping, then neighbour
-// overhearing and forwarding decisions.
-func (s *sim) resolve(d *device, tx *radio.Transmission, frame lorawan.Frame, dest int, now time.Duration) {
+// overhearing and forwarding decisions. The frame, radio handle, and
+// destination were parked on the device by transmit.
+func (s *sim) resolve(d *device, now time.Duration) {
+	tx, frame, dest := d.pendTx, d.pendFrame, d.pendDest
 	d.busy = false
+	// The radio handle is dead after this event: the medium may recycle
+	// it once the transmission has ended.
+	d.pendTx = nil
 
 	gw := s.receiveAtGateways(tx)
 	switch {
@@ -568,7 +665,7 @@ func (s *sim) resolve(d *device, tx *radio.Transmission, frame lorawan.Frame, de
 		d.attempts = 0
 		d.fwdTarget = -1
 		// Next sink contact reached: the no-send-back bans lift.
-		clear(d.noSendBack)
+		d.noSendBack = d.noSendBack[:0]
 		// Keep draining the backlog at every duty opportunity while
 		// the contact lasts — the duty cycle is the only regulatory
 		// send-rate limit; relays carrying other devices' data must
@@ -599,38 +696,50 @@ func (s *sim) scheduleNextAttempt(d *device) {
 		return
 	}
 	d.retryScheduled = true
-	if _, err := s.es.At(d.duty.NextFree(), func(later time.Duration) {
-		d.retryScheduled = false
-		s.tryUplink(d, later)
-	}); err != nil {
+	if _, err := s.es.At(d.duty.NextFree(), d.retryFn); err != nil {
 		d.retryScheduled = false
 	}
 }
 
+// gwCand is one in-range gateway during reception resolution.
+type gwCand struct {
+	idx  int
+	dist float64
+}
+
 // receiveAtGateways attempts reception at every gateway inside the gateway
 // range, nearest first, and returns the first that decodes the frame (-1 if
-// none).
+// none). The candidate scratch is reused across calls and ordered by
+// insertion sort — the total (dist, idx) key makes the order identical to
+// any comparison sort, and in-range gateway counts are single digits.
 func (s *sim) receiveAtGateways(tx *radio.Transmission) int {
-	type cand struct {
-		idx  int
-		dist float64
-	}
-	var cands []cand
+	cands := s.gwCands[:0]
 	maxR := s.cfg.GatewayRangeM
 	for i, gp := range s.gws {
 		if s.gwUp != nil && !s.gwUp[i] {
 			continue // gateway inside an outage window
 		}
+		// Bounding-box pre-filter: |dx| > R (or |dy| > R) implies the
+		// Euclidean distance exceeds R, skipping the hypot.
+		if dx := tx.Pos.X - gp.X; dx > maxR || dx < -maxR {
+			continue
+		}
+		if dy := tx.Pos.Y - gp.Y; dy > maxR || dy < -maxR {
+			continue
+		}
 		if d := tx.Pos.Dist(gp); d <= maxR {
-			cands = append(cands, cand{idx: i, dist: d})
+			c := gwCand{idx: i, dist: d}
+			j := len(cands)
+			cands = append(cands, c)
+			for j > 0 && (cands[j-1].dist > c.dist ||
+				(cands[j-1].dist == c.dist && cands[j-1].idx > c.idx)) {
+				cands[j] = cands[j-1]
+				j--
+			}
+			cands[j] = c
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].dist != cands[b].dist {
-			return cands[a].dist < cands[b].dist
-		}
-		return cands[a].idx < cands[b].idx
-	})
+	s.gwCands = cands[:0]
 	for _, c := range cands {
 		if rec := s.medium.Receive(tx, s.gws[c.idx]); rec.OK() {
 			return c.idx
@@ -645,7 +754,7 @@ func (s *sim) receiveAtGateways(tx *radio.Transmission) int {
 func (s *sim) resolveHandover(d *device, tx *radio.Transmission, frame lorawan.Frame, dest int, now time.Duration) {
 	s.handoverAttempts++
 	target := s.devices[dest]
-	tpos, ok := target.node.PositionAt(now)
+	tpos, ok := s.devPos(target, now)
 	received := ok && !target.busy && !target.failed && s.listening(target) &&
 		tx.Pos.Dist(tpos) <= s.cfg.D2DRangeM
 	if !received {
@@ -682,7 +791,29 @@ func (s *sim) resolveHandover(d *device, tx *radio.Transmission, frame lorawan.F
 			}
 		}
 	}
-	target.noSendBack[d.id] = struct{}{}
+	target.banSendBack(d.id)
+}
+
+// banSendBack records that this device received data from the given
+// neighbour (no-send-back rule); duplicates are skipped.
+func (d *device) banSendBack(id int) {
+	for _, b := range d.noSendBack {
+		if int(b) == id {
+			return
+		}
+	}
+	d.noSendBack = append(d.noSendBack, int32(id))
+}
+
+// bannedSendBack reports whether the neighbour is under the no-send-back
+// rule.
+func (d *device) bannedSendBack(id int) bool {
+	for _, b := range d.noSendBack {
+		if int(b) == id {
+			return true
+		}
+	}
+	return false
 }
 
 // emitTrace stamps the run label onto an event and forwards it to the
@@ -743,19 +874,10 @@ func (s *sim) overhear(sender *device, tx *radio.Transmission, frame lorawan.Fra
 		return
 	}
 	maxR := s.cfg.D2DRangeM
-	s.ix.refresh(now, s.activeList, func(id int) (geo.Point, bool) {
-		z := s.devices[id]
-		if p, ok := z.node.PositionAt(now); ok {
-			return p, true
-		}
-		// A node asleep at rebuild time but with a known fixed position
-		// stays indexed: it may wake before the next rebuild, and the
-		// overhear loop re-checks live activity anyway.
-		if sm, ok := z.node.(mobility.StaticModel); ok && !z.failed {
-			return sm.FixedPosition(), true
-		}
-		return geo.Point{}, false
-	})
+	if s.ix.stale(now) {
+		s.ixNow = now
+		s.ix.refresh(now, s.activeList, s.posFn)
+	}
 	for _, zi := range s.ix.candidates(now, tx.Pos, maxR) {
 		if zi == sender.id || zi == dest {
 			continue
@@ -764,18 +886,29 @@ func (s *sim) overhear(sender *device, tx *radio.Transmission, frame lorawan.Fra
 		if z.busy || z.failed || z.queue.Len() == 0 {
 			continue
 		}
-		zpos, ok := z.node.PositionAt(now)
-		if !ok || tx.Pos.Dist(zpos) > maxR {
+		zpos, ok := s.devPos(z, now)
+		if !ok {
+			continue
+		}
+		// Bounding-box pre-filter before the exact (hypot) distance.
+		if dx := tx.Pos.X - zpos.X; dx > maxR || dx < -maxR {
+			continue
+		}
+		if dy := tx.Pos.Y - zpos.Y; dy > maxR || dy < -maxR {
+			continue
+		}
+		dist := tx.Pos.Dist(zpos)
+		if dist > maxR {
 			continue
 		}
 		if !s.listening(z) {
 			continue
 		}
-		if _, banned := z.noSendBack[sender.id]; banned {
+		if z.bannedSendBack(sender.id) {
 			continue
 		}
 		// One RSSI measurement per overheard broadcast feeds Eq. (5).
-		rssi := s.medium.Config().Loss.RSSI(s.cfg.TxPowerDBm, tx.Pos.Dist(zpos), s.d2dShadow)
+		rssi := s.d2dLoss.RSSI(s.cfg.TxPowerDBm, dist, s.d2dShadow)
 		linkETX := s.link.RCAETX(rssi)
 		local := routing.LocalState{
 			RCAETX:   z.est.RCAETX(),

@@ -1,7 +1,8 @@
 package experiment
 
 import (
-	"sort"
+	"math"
+	"slices"
 	"time"
 
 	"mlorass/internal/geo"
@@ -16,28 +17,83 @@ import (
 // This turns the per-transmission neighbourhood scan from O(active devices)
 // into O(nearby devices), which is what makes paper-scale fleet densities
 // affordable.
+//
+// The grid is a flat dense arena over the bounding box of occupied cells:
+// one []int32 backing array holds every indexed device id grouped by cell
+// (cellStart[c]..cellStart[c+1] delimits cell c's group), rebuilt by a
+// counting sort. A second arena precomputes each cell's *neighbourhood* —
+// the ascending id list of every device within nbSpan cells — by appending
+// ids in ascending order during the rebuild, so the common query (radius
+// close to the cell size, the simulator's device-to-device range) returns a
+// precomputed ascending list with no per-query sort or merge. Queries whose
+// widened radius exceeds the precomputed span fall back to
+// concatenate-and-sort over the covered cell groups. Every buffer is reused
+// across refreshes: steady-state rebuilds and queries allocate nothing.
 type devIndex struct {
 	cellM        float64
 	rebuildEvery time.Duration
 	maxSpeedMPS  float64
 
+	// nbSpan is the neighbourhood half-width in cells: it covers a query
+	// of radius cellM (the nominal query radius — the simulator uses
+	// cellM = the device-to-device range) plus the maximum drift slack a
+	// query can accumulate before the next rebuild.
+	nbSpan int
+
 	builtAt time.Duration
 	valid   bool
-	byCell  map[[2]int][]int
+
+	// Dense-grid arena, rebuilt by refresh.
+	minCX, minCY int
+	cols, rows   int
+	cellStart    []int32 // len cols*rows+1: group offsets into ids
+	ids          []int32 // indexed device ids, grouped by cell
+
+	// Neighbourhood arena: nbStart[c]..nbStart[c+1] delimits cell c's
+	// precomputed ascending candidate list in nbIDs. nbPosX/nbPosY carry
+	// each member's build-time position (float32 — posEpsilonM absorbs
+	// the rounding), so a query filters the neighbourhood down to the
+	// exact widened-radius circle: tighter than any cell box, with a few
+	// flops per member and no per-query sort or merge.
+	nbStart []int32
+	nbIDs   []int32
+	nbPosX  []float32
+	nbPosY  []float32
+	// posEps is this rebuild's circle-filter widening: posEpsilonM plus
+	// the worst-case float32 rounding of the stored positions.
+	posEps float64
+
+	// Rebuild scratch, reused across refreshes.
+	entries []devEntry // indexed ids and their cells, ascending by id
+	cursors []int32    // per-cell write cursor for the placement passes
 
 	scratch []int
 }
+
+// devEntry is one indexed device during a rebuild.
+type devEntry struct {
+	id     int32
+	cx, cy int32
+	px, py float32 // build-time position
+}
+
+// posEpsilonM is the floor of the circle pre-filter's over-widening; the
+// rebuild adds a term proportional to the largest coordinate magnitude so
+// the float32 rounding of stored build positions (ulp = |x|·2⁻²³) is always
+// covered: candidates are only ever added by the widening, never lost.
+const posEpsilonM = 0.05
 
 // newDevIndex sizes the grid by the largest query radius.
 func newDevIndex(cellM float64, rebuildEvery time.Duration, maxSpeedMPS float64) *devIndex {
 	if cellM <= 0 {
 		cellM = 1000
 	}
+	maxSlack := maxSpeedMPS * rebuildEvery.Seconds()
 	return &devIndex{
 		cellM:        cellM,
 		rebuildEvery: rebuildEvery,
 		maxSpeedMPS:  maxSpeedMPS,
-		byCell:       make(map[[2]int][]int),
+		nbSpan:       int(math.Ceil((cellM + maxSlack) / cellM)),
 	}
 }
 
@@ -45,39 +101,238 @@ func (ix *devIndex) cellOf(p geo.Point) [2]int {
 	return [2]int{int(p.X / ix.cellM), int(p.Y / ix.cellM)}
 }
 
+// stale reports whether refresh would rebuild at the given instant. Callers
+// on the hot path check it before assembling the position source.
+func (ix *devIndex) stale(now time.Duration) bool {
+	return !ix.valid || now-ix.builtAt >= ix.rebuildEvery
+}
+
 // refresh rebuilds the index when stale. positions must yield the live
-// position of each listed device (ok=false entries are skipped).
+// position of each listed device (ok=false entries are skipped). The caller
+// usually lists ids in ascending order (the simulator's active list); any
+// other order costs one extra sort pass per rebuild.
 func (ix *devIndex) refresh(now time.Duration, ids []int, pos func(id int) (geo.Point, bool)) {
-	if ix.valid && now-ix.builtAt < ix.rebuildEvery {
+	if !ix.stale(now) {
 		return
 	}
-	clear(ix.byCell)
+	// Pass 1: collect (id, cell) for every positioned device and the
+	// occupied-cell bounding box.
+	ix.entries = ix.entries[:0]
+	minCX, minCY := 1<<30, 1<<30
+	maxCX, maxCY := -(1 << 30), -(1 << 30)
+	maxAbs := 0.0
+	ascending := true
+	prev := int32(-1 << 31)
 	for _, id := range ids {
 		p, ok := pos(id)
 		if !ok {
 			continue
 		}
+		if a := math.Abs(p.X); a > maxAbs {
+			maxAbs = a
+		}
+		if a := math.Abs(p.Y); a > maxAbs {
+			maxAbs = a
+		}
 		c := ix.cellOf(p)
-		ix.byCell[c] = append(ix.byCell[c], id)
+		if c[0] < minCX {
+			minCX = c[0]
+		}
+		if c[0] > maxCX {
+			maxCX = c[0]
+		}
+		if c[1] < minCY {
+			minCY = c[1]
+		}
+		if c[1] > maxCY {
+			maxCY = c[1]
+		}
+		if int32(id) < prev {
+			ascending = false
+		}
+		prev = int32(id)
+		ix.entries = append(ix.entries, devEntry{
+			id: int32(id), cx: int32(c[0]), cy: int32(c[1]),
+			px: float32(p.X), py: float32(p.Y),
+		})
 	}
 	ix.builtAt = now
 	ix.valid = true
+	// Per-coordinate float32 error ≤ |x|·2⁻²³ ≈ |x|·1.2e-7; the factor 4
+	// covers both axes plus margin.
+	ix.posEps = posEpsilonM + maxAbs*4e-7
+	if len(ix.entries) == 0 {
+		ix.cols, ix.rows = 0, 0
+		ix.cellStart = ix.cellStart[:0]
+		ix.ids = ix.ids[:0]
+		ix.nbStart = ix.nbStart[:0]
+		ix.nbIDs = ix.nbIDs[:0]
+		ix.nbPosX = ix.nbPosX[:0]
+		ix.nbPosY = ix.nbPosY[:0]
+		return
+	}
+	if !ascending {
+		slices.SortFunc(ix.entries, func(a, b devEntry) int { return int(a.id) - int(b.id) })
+	}
+	ix.minCX, ix.minCY = minCX, minCY
+	ix.cols = maxCX - minCX + 1
+	ix.rows = maxCY - minCY + 1
+
+	// Counting sort. Pass 2: per-cell counts and prefix sums.
+	nCells := ix.cols * ix.rows
+	ix.cellStart = resize(ix.cellStart, nCells+1)
+	ix.cursors = resize(ix.cursors, nCells+1)
+	for i := range ix.entries {
+		e := &ix.entries[i]
+		flat := (int(e.cy)-minCY)*ix.cols + (int(e.cx) - minCX)
+		e.cx = int32(flat) // reuse the slot for the flat cell
+		ix.cellStart[flat+1]++
+	}
+	for c := 1; c <= nCells; c++ {
+		ix.cellStart[c] += ix.cellStart[c-1]
+	}
+	// Pass 3: stable placement — entries are ascending by id, so every
+	// cell's group comes out ascending.
+	copy(ix.cursors, ix.cellStart)
+	n := len(ix.entries)
+	if cap(ix.ids) < n {
+		ix.ids = make([]int32, n)
+	} else {
+		ix.ids = ix.ids[:n]
+	}
+	for i := range ix.entries {
+		e := &ix.entries[i]
+		ix.ids[ix.cursors[e.cx]] = e.id
+		ix.cursors[e.cx]++
+	}
+
+	// Passes 4–5: neighbourhood lists. Count each entry into every cell
+	// within nbSpan, prefix-sum, then place — again in ascending id
+	// order, so each neighbourhood is ascending with no sort.
+	span := ix.nbSpan
+	ix.nbStart = resize(ix.nbStart, nCells+1)
+	for i := range ix.entries {
+		e := &ix.entries[i]
+		cx, cy := int(e.cx)%ix.cols, int(e.cx)/ix.cols
+		x0, x1 := max(cx-span, 0), min(cx+span, ix.cols-1)
+		y0, y1 := max(cy-span, 0), min(cy+span, ix.rows-1)
+		for y := y0; y <= y1; y++ {
+			row := y * ix.cols
+			for x := x0; x <= x1; x++ {
+				ix.nbStart[row+x+1]++
+			}
+		}
+	}
+	for c := 1; c <= nCells; c++ {
+		ix.nbStart[c] += ix.nbStart[c-1]
+	}
+	total := int(ix.nbStart[nCells])
+	if cap(ix.nbIDs) < total {
+		ix.nbIDs = make([]int32, total)
+		ix.nbPosX = make([]float32, total)
+		ix.nbPosY = make([]float32, total)
+	} else {
+		ix.nbIDs = ix.nbIDs[:total]
+		ix.nbPosX = ix.nbPosX[:total]
+		ix.nbPosY = ix.nbPosY[:total]
+	}
+	copy(ix.cursors, ix.nbStart)
+	for i := range ix.entries {
+		e := &ix.entries[i]
+		cx, cy := int(e.cx)%ix.cols, int(e.cx)/ix.cols
+		x0, x1 := max(cx-span, 0), min(cx+span, ix.cols-1)
+		y0, y1 := max(cy-span, 0), min(cy+span, ix.rows-1)
+		for y := y0; y <= y1; y++ {
+			row := y * ix.cols
+			for x := x0; x <= x1; x++ {
+				cur := ix.cursors[row+x]
+				ix.nbIDs[cur] = e.id
+				ix.nbPosX[cur] = e.px
+				ix.nbPosY[cur] = e.py
+				ix.cursors[row+x] = cur + 1
+			}
+		}
+	}
 }
 
 // candidates returns device ids possibly within radius of p at query time,
-// sorted ascending for deterministic iteration. The result slice is reused
-// across calls; callers must not retain it.
+// in ascending id order for deterministic iteration. The result is a
+// superset of the devices within the radius (callers filter by exact
+// distance); the fast path serves it straight from the precomputed
+// neighbourhood arena. The result slice is reused across calls; callers
+// must not retain it.
 func (ix *devIndex) candidates(now time.Duration, p geo.Point, radius float64) []int {
+	ix.scratch = ix.scratch[:0]
+	if ix.cols == 0 {
+		return ix.scratch
+	}
 	slack := ix.maxSpeedMPS * (now - ix.builtAt).Seconds()
 	r := radius + slack
 	lo := ix.cellOf(geo.Point{X: p.X - r, Y: p.Y - r})
 	hi := ix.cellOf(geo.Point{X: p.X + r, Y: p.Y + r})
-	ix.scratch = ix.scratch[:0]
-	for cx := lo[0]; cx <= hi[0]; cx++ {
-		for cy := lo[1]; cy <= hi[1]; cy++ {
-			ix.scratch = append(ix.scratch, ix.byCell[[2]int{cx, cy}]...)
+	c := ix.cellOf(p)
+	cx, cy := c[0]-ix.minCX, c[1]-ix.minCY
+	if cx >= 0 && cx < ix.cols && cy >= 0 && cy < ix.rows &&
+		lo[0] >= c[0]-ix.nbSpan && lo[1] >= c[1]-ix.nbSpan &&
+		hi[0] <= c[0]+ix.nbSpan && hi[1] <= c[1]+ix.nbSpan {
+		// Filter the precomputed neighbourhood down to the widened
+		// circle around p by build-time position: any device within
+		// radius of p now was within radius+slack of p at build time,
+		// so the circle keeps every true candidate while discarding
+		// the cell-quantisation fringe a box filter would pass. The
+		// result stays ascending (a subsequence of an ascending list).
+		r2 := (r + ix.posEps) * (r + ix.posEps)
+		flat := cy*ix.cols + cx
+		s, e := ix.nbStart[flat], ix.nbStart[flat+1]
+		xs, ys, ids := ix.nbPosX[s:e], ix.nbPosY[s:e], ix.nbIDs[s:e]
+		for i := range xs {
+			dx := p.X - float64(xs[i])
+			dy := p.Y - float64(ys[i])
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			ix.scratch = append(ix.scratch, int(ids[i]))
+		}
+		return ix.scratch
+	}
+	return ix.candidatesSlow(lo, hi)
+}
+
+// candidatesSlow serves queries outside the precomputed neighbourhood span
+// (wider radius, or a centre cell outside the occupied bounding box):
+// concatenate every covered cell group, then sort.
+func (ix *devIndex) candidatesSlow(lo, hi [2]int) []int {
+	if lo[0] < ix.minCX {
+		lo[0] = ix.minCX
+	}
+	if lo[1] < ix.minCY {
+		lo[1] = ix.minCY
+	}
+	if hi[0] > ix.minCX+ix.cols-1 {
+		hi[0] = ix.minCX + ix.cols - 1
+	}
+	if hi[1] > ix.minCY+ix.rows-1 {
+		hi[1] = ix.minCY + ix.rows - 1
+	}
+	for cy := lo[1]; cy <= hi[1]; cy++ {
+		rowBase := (cy - ix.minCY) * ix.cols
+		for cx := lo[0]; cx <= hi[0]; cx++ {
+			cell := rowBase + cx - ix.minCX
+			for _, id := range ix.ids[ix.cellStart[cell]:ix.cellStart[cell+1]] {
+				ix.scratch = append(ix.scratch, int(id))
+			}
 		}
 	}
-	sort.Ints(ix.scratch)
+	slices.Sort(ix.scratch)
 	return ix.scratch
+}
+
+// resize returns s with exactly n zeroed elements, reusing capacity.
+func resize(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }

@@ -145,3 +145,74 @@ func containsInt(xs []int, v int) bool {
 	}
 	return false
 }
+
+// TestDevIndexZeroAllocSteadyState locks the flat grid's zero-allocation
+// invariant: once the arena and scratch buffers are warm, rebuilds and
+// candidate queries allocate nothing.
+func TestDevIndexZeroAllocSteadyState(t *testing.T) {
+	ix := newDevIndex(500, 30*time.Second, 11)
+	world := gridWorld{}
+	ids := make([]int, 0, 200)
+	for i := 0; i < 200; i++ {
+		world[i] = geo.Point{X: float64(i*97%5000) + 0.5, Y: float64(i*131%5000) + 0.5}
+		ids = append(ids, i)
+	}
+	pos := world.pos // hoisted: the closure is the caller's, not the grid's
+	now := time.Duration(0)
+	// Warm every buffer (arena, entries, cursors, scratch).
+	for i := 0; i < 3; i++ {
+		ix.refresh(now, ids, pos)
+		ix.candidates(now, geo.Point{X: 2500, Y: 2500}, 800)
+		now += time.Minute
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		now += time.Minute // always stale: every call is a full rebuild
+		ix.refresh(now, ids, pos)
+	}); n != 0 {
+		t.Fatalf("grid refresh allocates %v per rebuild, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ix.candidates(now, geo.Point{X: 2500, Y: 2500}, 800)
+	}); n != 0 {
+		t.Fatalf("grid query allocates %v per call, want 0", n)
+	}
+}
+
+// TestDevIndexMatchesBruteForce cross-checks the flat grid against a brute
+// force reference over randomised worlds: identical candidate supersets
+// (modulo the deliberate cell over-approximation) and ascending order, for
+// ascending and non-ascending id input.
+func TestDevIndexMatchesBruteForce(t *testing.T) {
+	rnd := func(seed, mod int) float64 { return float64((seed*2654435761)%mod) + 0.25 }
+	for _, descending := range []bool{false, true} {
+		ix := newDevIndex(700, 30*time.Second, 11)
+		world := gridWorld{}
+		var ids []int
+		for i := 0; i < 300; i++ {
+			world[i] = geo.Point{X: rnd(i+1, 9000), Y: rnd(i+7, 9000)}
+			ids = append(ids, i)
+		}
+		if descending {
+			for l, r := 0, len(ids)-1; l < r; l, r = l+1, r-1 {
+				ids[l], ids[r] = ids[r], ids[l]
+			}
+		}
+		ix.refresh(0, ids, world.pos)
+		for q := 0; q < 50; q++ {
+			p := geo.Point{X: rnd(q+3, 9000), Y: rnd(q+11, 9000)}
+			radius := 400 + float64(q*37%1200)
+			got := ix.candidates(time.Duration(q)*time.Second, p, radius)
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("descending=%v query %d: candidates not ascending: %v", descending, q, got)
+				}
+			}
+			for id, pt := range world {
+				if pt.Dist(p) <= radius && !containsInt(got, id) {
+					t.Fatalf("descending=%v query %d: device %d within %v missing from %v",
+						descending, q, id, radius, got)
+				}
+			}
+		}
+	}
+}

@@ -148,7 +148,56 @@ func (pl *Polyline) At(d float64) Point {
 	if d >= pl.Length() {
 		return pl.pts[len(pl.pts)-1]
 	}
-	// Binary search for the segment containing d.
+	return pl.interpolate(pl.segmentOf(d), d)
+}
+
+// AtHint is At with a resumable segment cursor: *hint is the caller's last
+// segment index, updated in place. Queries that stay on or near the hinted
+// segment — the simulator's pattern, where a vehicle advances a few metres
+// between events — resolve by walking at most walkLimit segments instead of
+// a full binary search; larger jumps (non-monotonic query time, shift
+// wrap-around) fall back to the search. The returned position is identical
+// to At's for every d; only the lookup cost differs.
+func (pl *Polyline) AtHint(d float64, hint *int) Point {
+	if d <= 0 {
+		*hint = 0
+		return pl.pts[0]
+	}
+	if d >= pl.Length() {
+		*hint = len(pl.pts) - 2
+		return pl.pts[len(pl.pts)-1]
+	}
+	// walkLimit bounds the linear resume before falling back to binary
+	// search; small enough that a cold hint costs one extra cache line,
+	// large enough that consecutive queries almost never fall back.
+	const walkLimit = 8
+	i := *hint
+	if i < 0 || i > len(pl.pts)-2 {
+		i = pl.segmentOf(d)
+	} else {
+		for steps := 0; ; steps++ {
+			if steps > walkLimit {
+				i = pl.segmentOf(d)
+				break
+			}
+			if pl.cum[i] > d {
+				i--
+				continue
+			}
+			if d >= pl.cum[i+1] {
+				i++
+				continue
+			}
+			break
+		}
+	}
+	*hint = i
+	return pl.interpolate(i, d)
+}
+
+// segmentOf binary-searches the segment containing arc length d: the
+// largest index i with cum[i] <= d. Callers have excluded the clamped ends.
+func (pl *Polyline) segmentOf(d float64) int {
 	lo, hi := 0, len(pl.cum)-1
 	for lo+1 < hi {
 		mid := (lo + hi) / 2
@@ -158,12 +207,17 @@ func (pl *Polyline) At(d float64) Point {
 			hi = mid
 		}
 	}
-	segLen := pl.cum[hi] - pl.cum[lo]
+	return lo
+}
+
+// interpolate returns the position at arc length d within segment i.
+func (pl *Polyline) interpolate(i int, d float64) Point {
+	segLen := pl.cum[i+1] - pl.cum[i]
 	if segLen == 0 {
-		return pl.pts[lo]
+		return pl.pts[i]
 	}
-	t := (d - pl.cum[lo]) / segLen
-	return pl.pts[lo].Lerp(pl.pts[hi], t)
+	t := (d - pl.cum[i]) / segLen
+	return pl.pts[i].Lerp(pl.pts[i+1], t)
 }
 
 // GridPoints places n points on an approximately square uniform grid inside

@@ -42,7 +42,9 @@ func (q *Queue) Push(m Message) bool {
 // PushFront returns messages to the head of the queue, preserving their
 // relative order — used to requeue an unacknowledged bundle so FIFO order
 // survives retransmission. Overflow drops from the back of the restored
-// block (newest first), counting drops.
+// block (newest first), counting drops. The queue's backing array is reused
+// (growing only when capacity runs out), so steady-state requeues allocate
+// nothing.
 func (q *Queue) PushFront(ms []Message) {
 	if len(ms) == 0 {
 		return
@@ -58,14 +60,33 @@ func (q *Queue) PushFront(ms []Message) {
 			keep = keep[:room]
 		}
 	}
-	merged := make([]Message, 0, len(keep)+q.Len())
-	merged = append(merged, keep...)
-	merged = append(merged, q.items[q.head:]...)
-	q.items = merged
+	k := len(keep)
+	if k == 0 {
+		return
+	}
+	if q.head >= k {
+		// Consumed front room absorbs the block in place.
+		copy(q.items[q.head-k:q.head], keep)
+		q.head -= k
+		return
+	}
+	n := q.Len()
+	if cap(q.items) < n+k {
+		grown := make([]Message, n+k, max(2*cap(q.items), n+k))
+		copy(grown[k:], q.items[q.head:])
+		copy(grown[:k], keep)
+		q.items = grown
+		q.head = 0
+		return
+	}
+	q.items = q.items[:n+k]
+	copy(q.items[k:], q.items[q.head:q.head+n]) // overlapping shift right
+	copy(q.items[:k], keep)
 	q.head = 0
 }
 
-// PopN removes and returns up to n messages from the front.
+// PopN removes and returns up to n messages from the front. The returned
+// slice is freshly allocated; hot paths use PopNInto.
 func (q *Queue) PopN(n int) []Message {
 	if n <= 0 || q.Len() == 0 {
 		return nil
@@ -73,11 +94,23 @@ func (q *Queue) PopN(n int) []Message {
 	if n > q.Len() {
 		n = q.Len()
 	}
-	out := make([]Message, n)
-	copy(out, q.items[q.head:q.head+n])
+	return q.PopNInto(n, make([]Message, 0, n))
+}
+
+// PopNInto removes up to n messages from the front, appending them to dst
+// (normally a caller-owned scratch slice sliced to length zero) and
+// returning it. It allocates only if dst lacks capacity.
+func (q *Queue) PopNInto(n int, dst []Message) []Message {
+	if n <= 0 || q.Len() == 0 {
+		return dst
+	}
+	if n > q.Len() {
+		n = q.Len()
+	}
+	dst = append(dst, q.items[q.head:q.head+n]...)
 	q.head += n
 	q.compact()
-	return out
+	return dst
 }
 
 // PopEligible removes and returns up to n messages from the front for which
@@ -106,6 +139,34 @@ func (q *Queue) PopEligible(n int, eligible func(Message) bool) []Message {
 	q.items = q.items[:newLen]
 	q.compact()
 	return out
+}
+
+// PopNotViaInto is PopEligible specialised to the no-send-back rule —
+// eligible(m) = m.Via != via — appending the popped messages to dst and
+// returning it. The allocation-free form the transmit hot path uses: no
+// predicate closure, and dst is a caller-owned scratch slice.
+func (q *Queue) PopNotViaInto(n, via int, dst []Message) []Message {
+	if n <= 0 || q.Len() == 0 {
+		return dst
+	}
+	taken := 0
+	kept := q.items[q.head:q.head] // reuse storage, preserving order
+	for i := q.head; i < len(q.items); i++ {
+		m := q.items[i]
+		if taken < n && m.Via != via {
+			dst = append(dst, m)
+			taken++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	newLen := q.head + len(kept)
+	for i := newLen; i < len(q.items); i++ {
+		q.items[i] = Message{}
+	}
+	q.items = q.items[:newLen]
+	q.compact()
+	return dst
 }
 
 // PeekN returns up to n messages from the front without removing them. The

@@ -1,0 +1,92 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"mlorass/internal/geo"
+	"mlorass/internal/tfl"
+)
+
+// benchFleets builds one representative node per mobility model for the
+// position-query benchmarks: a timetabled bus on a multi-segment route, a
+// random-waypoint vehicle, and a duty-cycled grid sensor.
+func benchModels(b *testing.B) map[string]Model {
+	b.Helper()
+	ds, err := tfl.Generate(tfl.DefaultGenConfig(7, 3, 10*time.Minute))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buses, err := NewFleet(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pick the bus with the longest shift so queries stay in-window.
+	bus := buses.Node(0)
+	for i := 1; i < buses.Len(); i++ {
+		n := buses.Node(i)
+		s0, e0 := bus.Window()
+		s1, e1 := n.Window()
+		if e1-s1 > e0-s0 {
+			bus = n
+		}
+	}
+	rw, err := NewRandomWaypointFleet(RandomWaypointConfig{
+		Seed: 7, Area: geo.Square(10000), NumNodes: 1,
+		SpeedMinMPS: 3, SpeedMaxMPS: 10, PauseMax: time.Minute,
+		Horizon: tfl.Day,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg, err := NewSensorGridFleet(SensorGridConfig{
+		Seed: 7, Area: geo.Square(10000), NumNodes: 1,
+		OnWindow: time.Hour, Period: time.Hour, Horizon: tfl.Day,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return map[string]Model{
+		"bus":      bus,
+		"waypoint": rw.Node(0),
+		"sensor":   sg.Node(0),
+	}
+}
+
+// BenchmarkPositionAt measures position queries advancing monotonically in
+// small steps — the simulator's access pattern (one query per event, virtual
+// time only moves forward).
+func BenchmarkPositionAt(b *testing.B) {
+	for _, name := range []string{"bus", "waypoint", "sensor"} {
+		m := benchModels(b)[name]
+		b.Run(name+"/stateless", func(b *testing.B) {
+			start, end := m.Window()
+			span := end - start
+			at := start
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at += 250 * time.Millisecond
+				if at >= end {
+					at -= span
+				}
+				m.PositionAt(at)
+			}
+		})
+		b.Run(name+"/cursor", func(b *testing.B) {
+			c := NewCursor(m)
+			start, end := m.Window()
+			span := end - start
+			at := start
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at += 250 * time.Millisecond
+				if at >= end {
+					at -= span
+				}
+				c.PositionAt(at)
+			}
+		})
+	}
+}

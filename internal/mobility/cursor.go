@@ -1,0 +1,144 @@
+package mobility
+
+import (
+	"math"
+	"time"
+
+	"mlorass/internal/geo"
+)
+
+// Cursor is a stateful position reader over one Model's trajectory. It
+// returns exactly what the Model's stateless PositionAt returns for every
+// instant — same floating-point result, bit for bit — but caches the
+// trajectory location of the previous query (the polyline segment a bus is
+// on, the leg a waypoint vehicle is traversing), so the near-monotonic query
+// sequences the simulator issues resume the segment walk instead of
+// re-searching the whole trajectory. Time may jump arbitrarily (backwards
+// included); big jumps fall back to binary search.
+//
+// A Cursor is not safe for concurrent use. Each simulated device holds its
+// own.
+type Cursor interface {
+	// Model returns the underlying trajectory model.
+	Model() Model
+	// PositionAt returns the node position at the given instant; ok is
+	// false when the node is out of service. Identical to
+	// Model().PositionAt(at) for every at.
+	PositionAt(at time.Duration) (geo.Point, bool)
+}
+
+// cursorable is implemented by models that carry an optimised cursor.
+type cursorable interface {
+	newCursor() Cursor
+}
+
+// NewCursor builds the cursor for a model. Models without cached-walk
+// support (static sensors, external implementations) get a stateless
+// adapter, so callers can hold Cursors uniformly for any fleet.
+func NewCursor(m Model) Cursor {
+	if c, ok := m.(cursorable); ok {
+		return c.newCursor()
+	}
+	return statelessCursor{m: m}
+}
+
+// statelessCursor adapts a Model with no resumable state (position lookup
+// already O(1), e.g. fixed sensors).
+type statelessCursor struct {
+	m Model
+}
+
+func (c statelessCursor) Model() Model { return c.m }
+
+func (c statelessCursor) PositionAt(at time.Duration) (geo.Point, bool) {
+	return c.m.PositionAt(at)
+}
+
+// busCursor resumes the route polyline walk from the previously hit
+// segment. The shuttle triangle wave moves the arc-length target a few
+// metres per event, so the hinted lookup is O(1) along the whole shift.
+type busCursor struct {
+	b    *Bus
+	hint int
+}
+
+// newCursor implements cursorable.
+func (b *Bus) newCursor() Cursor { return &busCursor{b: b} }
+
+func (c *busCursor) Model() Model { return c.b }
+
+func (c *busCursor) PositionAt(at time.Duration) (geo.Point, bool) {
+	m, ok := c.b.arc(at)
+	if !ok {
+		return geo.Point{}, false
+	}
+	return c.b.route.AtHint(m, &c.hint), true
+}
+
+// waypointCursor resumes the precomputed leg walk from the previous leg.
+type waypointCursor struct {
+	n    *waypointNode
+	hint int
+}
+
+// newCursor implements cursorable.
+func (n *waypointNode) newCursor() Cursor { return &waypointCursor{n: n} }
+
+func (c *waypointCursor) Model() Model { return c.n }
+
+func (c *waypointCursor) PositionAt(at time.Duration) (geo.Point, bool) {
+	n := c.n
+	if !n.Active(at) {
+		return geo.Point{}, false
+	}
+	// walkLimit mirrors geo.Polyline.AtHint: resume linearly while the
+	// query stays near the hinted leg, binary-search on real jumps.
+	const walkLimit = 8
+	legs := n.legs
+	i := c.hint
+	if i < 0 || i >= len(legs) {
+		i = n.legOf(at)
+	} else {
+		for steps := 0; ; steps++ {
+			if steps > walkLimit {
+				i = n.legOf(at)
+				break
+			}
+			if legs[i].start > at {
+				i--
+				continue
+			}
+			if i+1 < len(legs) && at >= legs[i+1].start {
+				i++
+				continue
+			}
+			break
+		}
+	}
+	c.hint = i
+	return n.posInLeg(i, at), true
+}
+
+// arc maps an instant to the bus's arc-length position along the route: the
+// shared triangle-wave math behind both the stateless Position and the
+// cursor, so the two stay bit-identical by construction.
+func (b *Bus) arc(at time.Duration) (float64, bool) {
+	if at < b.trip.Start || at >= b.tripEnd {
+		return 0, false
+	}
+	length := b.length
+	progress := b.speedMPS * (at - b.trip.Start).Seconds()
+	m := progress
+	if m >= 2*length {
+		// math.Mod(x, y) == x for 0 <= x < y, so the reduction is
+		// needed — and paid — only from the second round trip on.
+		m = math.Mod(progress, 2*length)
+	}
+	if m > length {
+		m = 2*length - m
+	}
+	if b.trip.Reverse {
+		m = length - m
+	}
+	return m, true
+}

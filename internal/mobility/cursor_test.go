@@ -1,0 +1,108 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mlorass/internal/geo"
+	"mlorass/internal/tfl"
+)
+
+// cursorTestFleets builds one fleet per mobility model, sized so trajectories
+// exercise multi-segment routes, many waypoint legs, and duty-cycled windows.
+func cursorTestFleets(t *testing.T) map[string]*Fleet {
+	t.Helper()
+	ds, err := tfl.Generate(tfl.DefaultGenConfig(11, 4, 20*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buses, err := NewFleet(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewRandomWaypointFleet(RandomWaypointConfig{
+		Seed: 11, Area: geo.Square(8000), NumNodes: 8,
+		SpeedMinMPS: 2, SpeedMaxMPS: 12, PauseMax: 2 * time.Minute,
+		Horizon: tfl.Day,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := NewSensorGridFleet(SensorGridConfig{
+		Seed: 11, Area: geo.Square(8000), NumNodes: 9,
+		OnWindow: 20 * time.Minute, Period: time.Hour, Horizon: tfl.Day,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Fleet{"buses": buses, "randomwaypoint": rw, "sensorgrid": sg}
+}
+
+// TestCursorMatchesStateless is the cursor-correctness property test: for
+// every mobility model, Cursor.PositionAt must equal the stateless
+// Model.PositionAt bit for bit under random query sequences — monotonic
+// runs of small steps (the simulator's pattern), interleaved with arbitrary
+// jumps forwards and backwards (index rebuilds, window edges).
+func TestCursorMatchesStateless(t *testing.T) {
+	for name, fleet := range cursorTestFleets(t) {
+		t.Run(name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(42))
+			limit := 8
+			if fleet.Len() < limit {
+				limit = fleet.Len()
+			}
+			for i := 0; i < limit; i++ {
+				m := fleet.Node(i)
+				c := NewCursor(m)
+				if c.Model() != m {
+					t.Fatalf("node %d: cursor reports wrong model", i)
+				}
+				start, end := m.Window()
+				span := end - start
+				at := start
+				for q := 0; q < 5000; q++ {
+					switch rnd.Intn(10) {
+					case 0: // arbitrary jump anywhere, incl. out of window
+						at = start - span/10 + time.Duration(rnd.Int63n(int64(span+span/5)))
+					case 1: // jump backwards
+						at -= time.Duration(rnd.Int63n(int64(span/4 + 1)))
+					default: // small monotonic advance
+						at += time.Duration(rnd.Int63n(int64(2 * time.Second)))
+					}
+					want, wantOK := m.PositionAt(at)
+					got, gotOK := c.PositionAt(at)
+					if wantOK != gotOK || got != want {
+						t.Fatalf("node %d query %d at %v: cursor (%v, %v) != stateless (%v, %v)",
+							i, q, at, got, gotOK, want, wantOK)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCursorZeroAllocMonotonic locks the cursor zero-allocation invariant on
+// the hot path: monotonic small-step queries allocate nothing once the
+// cursor is warm.
+func TestCursorZeroAllocMonotonic(t *testing.T) {
+	for name, fleet := range cursorTestFleets(t) {
+		t.Run(name, func(t *testing.T) {
+			m := fleet.Node(0)
+			c := NewCursor(m)
+			start, end := m.Window()
+			span := end - start
+			at := start
+			c.PositionAt(at) // warm the hint
+			if n := testing.AllocsPerRun(500, func() {
+				at += 250 * time.Millisecond
+				if at >= end {
+					at -= span
+				}
+				c.PositionAt(at)
+			}); n != 0 {
+				t.Fatalf("monotonic cursor query allocates %v per op, want 0", n)
+			}
+		})
+	}
+}

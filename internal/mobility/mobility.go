@@ -21,7 +21,6 @@ package mobility
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"mlorass/internal/geo"
@@ -55,6 +54,23 @@ type Bus struct {
 	trip     tfl.Trip
 	route    *geo.Polyline
 	speedMPS float64 // effective speed so the trip finishes exactly on time
+
+	// Hot-path caches of pure derivations (set by newBus): the route
+	// length and the shift end, so position queries avoid re-deriving
+	// them millions of times per run.
+	length  float64
+	tripEnd time.Duration
+}
+
+// newBus builds a bus with its hot-path caches populated.
+func newBus(trip tfl.Trip, route *geo.Polyline, speedMPS float64) *Bus {
+	return &Bus{
+		trip:     trip,
+		route:    route,
+		speedMPS: speedMPS,
+		length:   route.Length(),
+		tripEnd:  trip.End(),
+	}
 }
 
 // ID returns the trip/bus identifier (unique within the dataset).
@@ -83,17 +99,9 @@ func (b *Bus) PositionAt(at time.Duration) (geo.Point, bool) { return b.Position
 // whose shift outlasts one end-to-end run turns around and serves the route
 // in the opposite direction, exactly like a timetabled bus block.
 func (b *Bus) Position(at time.Duration) (geo.Point, bool) {
-	if !b.trip.ActiveAt(at) {
+	m, ok := b.arc(at)
+	if !ok {
 		return geo.Point{}, false
-	}
-	length := b.route.Length()
-	progress := b.speedMPS * (at - b.trip.Start).Seconds()
-	m := math.Mod(progress, 2*length)
-	if m > length {
-		m = 2*length - m
-	}
-	if b.trip.Reverse {
-		m = length - m
 	}
 	return b.route.At(m), true
 }
@@ -156,11 +164,7 @@ func NewFleet(ds *tfl.Dataset) (*Fleet, error) {
 		if tr.Duration <= 0 {
 			return nil, fmt.Errorf("mobility: trip %d has non-positive duration %v", tr.ID, tr.Duration)
 		}
-		nodes = append(nodes, &Bus{
-			trip:     tr,
-			route:    c.line,
-			speedMPS: c.speed,
-		})
+		nodes = append(nodes, newBus(tr, c.line, c.speed))
 	}
 	return FromModels(nodes)
 }

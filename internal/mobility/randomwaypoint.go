@@ -85,7 +85,13 @@ func (n *waypointNode) PositionAt(at time.Duration) (geo.Point, bool) {
 	if !n.Active(at) {
 		return geo.Point{}, false
 	}
-	// Binary search for the leg containing at.
+	return n.posInLeg(n.legOf(at), at), true
+}
+
+// legOf binary-searches the leg containing at: the largest index whose
+// start is <= at. Legs tile the horizon contiguously, so that is the
+// covering leg.
+func (n *waypointNode) legOf(at time.Duration) int {
 	lo, hi := 0, len(n.legs)-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
@@ -95,15 +101,21 @@ func (n *waypointNode) PositionAt(at time.Duration) (geo.Point, bool) {
 			hi = mid - 1
 		}
 	}
-	l := n.legs[lo]
+	return lo
+}
+
+// posInLeg interpolates within leg i — the shared math behind the stateless
+// lookup and the cursor, so the two stay bit-identical by construction.
+func (n *waypointNode) posInLeg(i int, at time.Duration) geo.Point {
+	l := n.legs[i]
 	if l.end <= l.start {
-		return l.to, true
+		return l.to
 	}
 	t := float64(at-l.start) / float64(l.end-l.start)
 	if t > 1 {
 		t = 1
 	}
-	return l.from.Lerp(l.to, t), true
+	return l.from.Lerp(l.to, t)
 }
 
 // NewRandomWaypointFleet builds a deterministic random-waypoint fleet. Each

@@ -93,6 +93,10 @@ type Medium struct {
 	active []*Transmission
 	nextID uint64
 
+	// pool recycles Transmission values pruned from the active list, so
+	// steady-state Begin calls allocate nothing.
+	pool []*Transmission
+
 	// Stats counts outcomes for the overhead/diagnostics reports.
 	stats MediumStats
 }
@@ -127,9 +131,22 @@ func (m *Medium) Stats() MediumStats { return m.stats }
 // Begin registers a transmission that occupies the channel from start to
 // end. The returned Transmission must be passed to Receive by interested
 // receivers at its end time; old transmissions are pruned lazily.
+//
+// The medium owns the returned Transmission: once it has ended and a later
+// Receive prunes it, the value is recycled by a subsequent Begin. Callers
+// must not retain the pointer past the event that resolves the
+// transmission (virtual time reaching End).
 func (m *Medium) Begin(from int, pos geo.Point, powerDBm float64, start, end time.Duration, payload any) *Transmission {
 	m.nextID++
-	tx := &Transmission{
+	var tx *Transmission
+	if n := len(m.pool); n > 0 {
+		tx = m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+	} else {
+		tx = &Transmission{}
+	}
+	*tx = Transmission{
 		ID:       m.nextID,
 		From:     from,
 		Pos:      pos,
@@ -143,16 +160,18 @@ func (m *Medium) Begin(from int, pos geo.Point, powerDBm float64, start, end tim
 	return tx
 }
 
-// prune drops transmissions that ended strictly before cutoff, keeping the
-// active list short. Called internally from Receive.
+// prune recycles transmissions that ended strictly before cutoff, keeping
+// the active list short. Called internally from Receive.
 func (m *Medium) prune(cutoff time.Duration) {
 	keep := m.active[:0]
 	for _, tx := range m.active {
 		if tx.End >= cutoff {
 			keep = append(keep, tx)
+		} else {
+			m.pool = append(m.pool, tx)
 		}
 	}
-	// Zero the tail so dropped transmissions can be collected.
+	// Zero the tail so the active list holds no duplicate references.
 	for i := len(keep); i < len(m.active); i++ {
 		m.active[i] = nil
 	}
