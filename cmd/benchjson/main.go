@@ -160,9 +160,20 @@ func loadArtifact(path string) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	art, err := parseArtifact(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return art, nil
+}
+
+// parseArtifact decodes artefact bytes (the -injson / -baseline input). It
+// must reject — never panic on — arbitrary input: CI feeds it files that may
+// be truncated uploads or not artefacts at all (fuzzed in main_fuzz_test.go).
+func parseArtifact(data []byte) (*Artifact, error) {
 	art := &Artifact{}
 	if err := json.Unmarshal(data, art); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, err
 	}
 	return art, nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzInJSONArtifact fuzzes the -injson/-baseline artefact pipeline:
+// parseArtifact over arbitrary bytes, then the full diff path (Diff against
+// itself and against an empty baseline, WriteDiff, nsPerOp/diffKey) over
+// whatever decoded. Malformed JSON must produce an error, never a panic —
+// this parser eats CI-uploaded files that may be truncated or not artefacts
+// at all. Wired into the CI fuzz-smoke job next to the tfl decoder fuzz.
+func FuzzInJSONArtifact(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"benchmarks":[{"name":"BenchmarkX-8","iterations":3,"metrics":[{"value":12.5,"unit":"ns/op"}]}]}`))
+	f.Add([]byte(`{"env":{"goos":"linux"},"benchmarks":[{"name":"BenchmarkY","metrics":[{"value":-1,"unit":"ns/op"},{"value":0,"unit":"B/op"}]}]}`))
+	f.Add([]byte(`{"benchmarks":[{"name":"B-","metrics":[{"value":1e308,"unit":"ns/op"}]},{"name":"B-","metrics":[{"value":1e-308,"unit":"ns/op"}]}]}`))
+	f.Add([]byte(`{"benchmarks":`))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		art, err := parseArtifact(data)
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		// Everything downstream of a successful parse must hold up too.
+		WriteDiff(io.Discard, Diff(art, art))
+		WriteDiff(io.Discard, Diff(&Artifact{}, art))
+		WriteDiff(io.Discard, Diff(art, &Artifact{}))
+	})
+}
+
+// FuzzParseBenchText fuzzes the bench-text parser (the stdin/-in path) the
+// same way: arbitrary `go test -bench` output lookalikes must never panic.
+func FuzzParseBenchText(f *testing.F) {
+	f.Add("goos: linux\npkg: example\nBenchmarkFoo-8  10  12.5 ns/op  3 B/op\nPASS\n")
+	f.Add("BenchmarkBare 1\nBenchmark-8 x y\n")
+	f.Add("pkg:\ncpu:\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		art, err := Parse(bytes.NewReader([]byte(text)))
+		if err != nil {
+			return
+		}
+		WriteDiff(io.Discard, Diff(art, art))
+	})
+}

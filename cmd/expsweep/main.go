@@ -12,6 +12,14 @@
 // timetable) and -fig resilience (the outage sweep: delivery ratio per
 // scheme as a growing fraction of gateways goes down).
 //
+// The MAC subsystem adds -fig adr (the adaptive-data-rate sweep: the paper's
+// fixed-SF7 baseline against SNR-margin ADR and ADR+confirmed traffic, per
+// gateway density) and the -adr / -confirmed switches, which enable the MAC
+// control plane under any other figure:
+//
+//	expsweep -fig adr -quick           # fixed-SF vs ADR vs ADR+confirmed
+//	expsweep -fig 8 -quick -confirmed  # Fig 8 under confirmed traffic
+//
 // Usage:
 //
 //	expsweep -fig 8 -env urban         # one figure, one environment
@@ -64,7 +72,7 @@ func main() {
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("expsweep", flag.ContinueOnError)
 	var (
-		fig         = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | resilience | ablations | all")
+		fig         = fs.String("fig", "8", "figure to regenerate: 7 | 8 | 9 | 10 | 11 | 12 | 13 | adr | resilience | ablations | all")
 		envName     = fs.String("env", "both", "environment: urban | rural | both")
 		seed        = fs.Uint64("seed", 1, "random seed (replications derive theirs from it)")
 		quick       = fs.Bool("quick", false, "reduced scale (shorter horizon, smaller fleet)")
@@ -78,6 +86,8 @@ func run(args []string) (err error) {
 		traceFormat = fs.String("trace-format", "jsonl", "trace encoding: jsonl | csv")
 		traceSample = fs.Int("trace-sample", 1, "trace one in N messages (1 = every message; sampled messages trace completely)")
 		percentiles = fs.Bool("percentiles", false, "also print pooled p50/p95/p99 delay columns for the figure sweeps")
+		adr         = fs.Bool("adr", false, "enable the network-server ADR loop (SNR-margin data-rate adaptation) for the run")
+		confirmed   = fs.Bool("confirmed", false, "switch uplinks to confirmed traffic: downlink acks in RX1/RX2, retransmission backoff")
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file on clean exit")
 	)
@@ -148,6 +158,13 @@ func run(args []string) (err error) {
 		base = experiment.QuickConfig()
 	}
 	base.Seed = *seed
+	base.MAC.ADR = *adr
+	base.MAC.Confirmed = *confirmed
+	if *fig == "adr" && (*adr || *confirmed) {
+		// The ADR figure sweeps the MAC modes itself; a base-level MAC
+		// override would corrupt its fixed-SF baseline column.
+		return fmt.Errorf("-fig adr sweeps the MAC modes itself; drop -adr/-confirmed")
+	}
 	model, err := experiment.ParseMobilityModel(*scenario)
 	if err != nil {
 		return err
@@ -207,9 +224,9 @@ func run(args []string) (err error) {
 		if *percentiles {
 			fmt.Fprintf(os.Stderr, "expsweep: note: -percentiles applies to the figure sweeps (figs 8/9/12/13) only\n")
 		}
-	case "resilience":
+	case "resilience", "adr":
 		if store != nil {
-			fmt.Fprintln(os.Stderr, "expsweep: note: -store caches figure-sweep cells only; the resilience sweep always simulates")
+			fmt.Fprintf(os.Stderr, "expsweep: note: -store caches figure-sweep cells only; the %s sweep always simulates\n", *fig)
 		}
 	}
 
@@ -224,6 +241,8 @@ func run(args []string) (err error) {
 		return series(base, experiment.Rural)
 	case "resilience":
 		return sw.resilience(base, envs)
+	case "adr":
+		return sw.adr(base, envs)
 	case "ablations":
 		if model != experiment.MobilityBuses {
 			return fmt.Errorf("the placement ablation needs the bus timetable; run -fig ablations with -scenario buses")
@@ -245,6 +264,12 @@ func run(args []string) (err error) {
 			return err
 		}
 		if err := sw.resilience(base, envs); err != nil {
+			return err
+		}
+		if *adr || *confirmed {
+			// The ADR sweep needs its own fixed-SF baseline column.
+			fmt.Fprintln(os.Stderr, "expsweep: note: skipping the adr figure under -adr/-confirmed (it sweeps the MAC modes itself)")
+		} else if err := sw.adr(base, envs); err != nil {
 			return err
 		}
 		if model != experiment.MobilityBuses {
@@ -389,6 +414,23 @@ func (sw sweeper) resilience(base experiment.Config, envs []experiment.Environme
 			return err
 		}
 		fmt.Println(experiment.OutageTable(points))
+	}
+	return nil
+}
+
+// adr runs the adaptive-data-rate sweep: the fixed-SF7 baseline against the
+// ADR and ADR+confirmed modes, per gateway density.
+func (sw sweeper) adr(base experiment.Config, envs []experiment.Environment) error {
+	for _, env := range envs {
+		var fn func(string)
+		if !sw.quiet {
+			fn = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+		}
+		points, err := experiment.ADRSweep(base, env, sw.workers, fn)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.ADRTable(points))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,6 +30,8 @@ func TestFlagValidationErrors(t *testing.T) {
 		{"bad trace format", []string{"-trace", "t.jsonl", "-trace-format", "xml"}, `unknown -trace-format "xml"`},
 		{"fig7 non-bus", []string{"-fig", "7", "-scenario", "randomwaypoint"}, "fig 7 charts the bus timetable"},
 		{"ablations non-bus", []string{"-fig", "ablations", "-scenario", "sensorgrid"}, "placement ablation needs the bus timetable"},
+		{"fig adr with -adr", []string{"-fig", "adr", "-adr"}, "-fig adr sweeps the MAC modes itself"},
+		{"fig adr with -confirmed", []string{"-fig", "adr", "-confirmed"}, "-fig adr sweeps the MAC modes itself"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -76,6 +79,48 @@ func TestFig7Runs(t *testing.T) {
 	os.Stdout, _ = os.Open(os.DevNull)
 	defer func() { os.Stdout = old }()
 	if err := run([]string{"-fig", "7", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigADRRuns smoke-tests the ADR figure end to end: the CLI renders the
+// three-mode table with its baseline column.
+func TestFigADRRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick ADR grid")
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := run([]string{"-fig", "adr", "-quick", "-env", "urban", "-quiet"})
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, want := range []string{"ADR: delivery %", "fixed-SF", "ADR+confirmed", "retx"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("ADR table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConfirmedFlagThreadsThrough checks -adr/-confirmed reach the
+// simulation: the throughput series still renders under the MAC control
+// plane, proving the flags compose with the classic figures rather than
+// being silently dropped.
+func TestConfirmedFlagThreadsThrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small resilience grid")
+	}
+	old := os.Stdout
+	os.Stdout, _ = os.Open(os.DevNull)
+	defer func() { os.Stdout = old }()
+	if err := run([]string{"-fig", "10", "-quick", "-confirmed", "-adr"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -133,6 +133,124 @@ type Config struct {
 	// The zero value records metrics and traces nothing, and leaves every
 	// reported figure byte-identical to the pre-telemetry simulator.
 	Telemetry TelemetryOptions
+
+	// MAC configures the adaptive-data-rate and confirmed-traffic
+	// subsystem. The zero value switches the whole MAC control plane off —
+	// fixed SF, fixed power, instant always-successful acks — which is the
+	// paper's setting; every existing figure is byte-identical under it.
+	MAC MACConfig
+}
+
+// MACConfig parameterises the ADR + confirmed-downlink subsystem. The zero
+// value disables it entirely (Enabled() == false): no downlinks exist, no
+// extra random draws are made, and the run is byte-identical to the paper's
+// uplink-only model. Unset knobs of an enabled config are filled with
+// LoRaWAN defaults by Normalize.
+type MACConfig struct {
+	// ADR enables the network-server SNR-margin data-rate adaptation:
+	// uplink SNR history per device, LinkADRReq commands delivered through
+	// downlinks.
+	ADR bool
+	// Confirmed switches device uplinks to confirmed traffic: gateways
+	// answer each decoded uplink with an ack downlink in RX1/RX2, and
+	// unacked devices retransmit with backoff instead of assuming success.
+	Confirmed bool
+
+	// ADRMarginDB is the installation margin of the ADR algorithm. Like
+	// every other knob, 0 selects the default (10 dB); use a small
+	// positive value for an effectively zero margin.
+	ADRMarginDB float64
+	// ADRHistory is the per-device SNR window length (default 20 uplinks).
+	ADRHistory int
+	// ADRMinHistory is the observation count required before the first
+	// command (default 4).
+	ADRMinHistory int
+	// InitialSF is the spreading factor devices join at (default: the
+	// run's configured SF). Real LoRaWAN devices join at a robust slow
+	// rate and let ADR speed them up; setting SF12 here with ADR on
+	// reproduces that ramp, and is what the ADR sweep measures against
+	// the paper's fixed-SF7 baseline.
+	InitialSF radio.SpreadingFactor
+
+	// RX1Delay and RX2Delay are the Class-A receive-window offsets
+	// (defaults 1 s and 2 s).
+	RX1Delay, RX2Delay time.Duration
+	// DownlinkDutyCycle is the per-gateway transmit duty fraction
+	// (default 0.1, the EU868 10 % downlink sub-band).
+	DownlinkDutyCycle float64
+	// DownlinkTxPowerDBm is the gateway transmit power. 0 selects the
+	// device TxPowerDBm (symmetric links); Normalize resolves it, so the
+	// echoed Result.Config always shows the power the run used.
+	DownlinkTxPowerDBm float64
+	// AckRetryMax bounds confirmed-uplink transmissions of one frame
+	// (default: the paper's 8-attempt retry budget).
+	AckRetryMax int
+}
+
+// Enabled reports whether any part of the MAC control plane is on. The
+// paper's model corresponds to the zero value (off).
+func (m MACConfig) Enabled() bool { return m.ADR || m.Confirmed }
+
+// normalize fills unset knobs of an enabled config; a disabled config is
+// left exactly zero so the zero-value-off invariant is visible in the
+// echoed Result.Config. deviceTxPowDBm anchors the downlink-power default.
+func (m *MACConfig) normalize(deviceTxPowDBm float64) {
+	if !m.Enabled() {
+		return
+	}
+	if m.DownlinkTxPowerDBm == 0 {
+		m.DownlinkTxPowerDBm = deviceTxPowDBm
+	}
+	if m.ADRMarginDB == 0 {
+		m.ADRMarginDB = 10
+	}
+	if m.ADRHistory == 0 {
+		m.ADRHistory = 20
+	}
+	if m.ADRMinHistory == 0 {
+		m.ADRMinHistory = 4
+	}
+	if m.RX1Delay == 0 {
+		m.RX1Delay = lorawan.DefaultRX1Delay
+	}
+	if m.RX2Delay == 0 {
+		m.RX2Delay = lorawan.DefaultRX2Delay
+	}
+	if m.DownlinkDutyCycle == 0 {
+		m.DownlinkDutyCycle = 0.1
+	}
+	if m.AckRetryMax == 0 {
+		m.AckRetryMax = lorawan.DefaultRetryPolicy().Max
+	}
+}
+
+// validate reports configuration errors of an enabled MAC config.
+func (m MACConfig) validate() error {
+	if !m.Enabled() {
+		return nil
+	}
+	if m.ADRMarginDB < 0 {
+		return fmt.Errorf("experiment: MAC.ADRMarginDB %v must be non-negative", m.ADRMarginDB)
+	}
+	if m.ADRHistory <= 0 {
+		return fmt.Errorf("experiment: MAC.ADRHistory %d must be positive", m.ADRHistory)
+	}
+	if m.ADRMinHistory <= 0 || m.ADRMinHistory > m.ADRHistory {
+		return fmt.Errorf("experiment: MAC.ADRMinHistory %d outside [1, %d]", m.ADRMinHistory, m.ADRHistory)
+	}
+	if m.RX1Delay <= 0 || m.RX2Delay <= m.RX1Delay {
+		return fmt.Errorf("experiment: receive windows RX1=%v RX2=%v must satisfy 0 < RX1 < RX2", m.RX1Delay, m.RX2Delay)
+	}
+	if m.DownlinkDutyCycle <= 0 || m.DownlinkDutyCycle > 1 {
+		return fmt.Errorf("experiment: MAC.DownlinkDutyCycle %v outside (0, 1]", m.DownlinkDutyCycle)
+	}
+	if m.AckRetryMax <= 0 {
+		return fmt.Errorf("experiment: MAC.AckRetryMax %d must be positive", m.AckRetryMax)
+	}
+	if m.InitialSF != 0 && !m.InitialSF.Valid() {
+		return fmt.Errorf("experiment: MAC.InitialSF %d invalid", int(m.InitialSF))
+	}
+	return nil
 }
 
 // TelemetryOptions selects the run's telemetry behaviour.
@@ -253,6 +371,7 @@ func (c *Config) Normalize() {
 	if c.ThroughputBin == 0 {
 		c.ThroughputBin = def.ThroughputBin
 	}
+	c.MAC.normalize(c.TxPowerDBm)
 	if c.Mobility.Model != MobilityBuses {
 		dm := defaultMobility()
 		if c.Mobility.NumNodes == 0 {
@@ -335,6 +454,9 @@ func (c *Config) Validate() error {
 		}
 	}
 	if err := c.Disruption.Validate(); err != nil {
+		return err
+	}
+	if err := c.MAC.validate(); err != nil {
 		return err
 	}
 	return nil

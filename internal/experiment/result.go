@@ -62,6 +62,25 @@ type Result struct {
 	// them).
 	HandoverLostMsgs uint64
 
+	// MAC-subsystem measurements (all zero when Config.MAC is
+	// zero-valued — the paper's uplink-only model).
+
+	// Downlinks counts gateway downlink frames put on the air;
+	// DownlinkDeliveries counts those decoded by their device.
+	Downlinks          uint64
+	DownlinkDeliveries uint64
+	// DownlinkDrops counts downlinks the per-gateway duty budget could
+	// not place in either receive window.
+	DownlinkDrops uint64
+	// AckTimeouts counts confirmed uplinks whose ack window closed
+	// unanswered; Retransmissions counts the retries they triggered.
+	AckTimeouts     uint64
+	Retransmissions uint64
+	// ADRCommands counts LinkADRReq commands the network server issued;
+	// ADRApplied counts those devices received and applied.
+	ADRCommands uint64
+	ADRApplied  uint64
+
 	// GatewayOutageWindows counts the disruption layer's scheduled
 	// gateway downtime windows (0 when disruption is off).
 	GatewayOutageWindows int
@@ -129,6 +148,17 @@ func (s *sim) collect() *Result {
 	r.HandoverSuccesses = s.handoverSuccesses
 	r.HandoverMsgs = s.handoverMsgs
 	r.HandoverLostMsgs = s.handoverLostMsgs
+	if s.macOn {
+		r.Downlinks = s.downlinks
+		r.DownlinkDeliveries = s.downlinkDeliveries
+		r.AckTimeouts = s.ackTimeouts
+		r.Retransmissions = s.retransmissions
+		r.ADRApplied = s.adrApplied
+		if m := s.server.MAC(); m != nil {
+			r.ADRCommands = m.Commands
+			r.DownlinkDrops = m.Sched.Stats().Dropped
+		}
+	}
 	r.GatewayOutageWindows = s.gatewayOutageWindows
 	r.DeviceFailures = s.deviceFailures
 	for _, del := range s.server.Deliveries() {
@@ -156,8 +186,12 @@ func (s *sim) collect() *Result {
 		r.Telemetry = s.rec.Snapshot()
 		// The queues also drop on requeue overflow (PushFront), which
 		// the streamed counter cannot see; reconcile with the
-		// authoritative per-queue total.
+		// authoritative per-queue total. Downlink drops and ADR command
+		// issues are counted by the network server's scheduler and MAC,
+		// which cannot reach the recorder.
 		r.Telemetry.Counters.QueueDrops = r.QueueDrops
+		r.Telemetry.Counters.DownlinkDrops = r.DownlinkDrops
+		r.Telemetry.Counters.ADRCommands = r.ADRCommands
 	}
 	return r
 }
@@ -284,6 +318,21 @@ func (r *Result) Report() string {
 	if r.Config.Disruption.Enabled() {
 		fmt.Fprintf(&b, "  disruption: %d gateway outage windows, %d device failures\n",
 			r.GatewayOutageWindows, r.DeviceFailures)
+	}
+	// MAC lines likewise appear only when the subsystem is on, keeping the
+	// zero-value-off invariant visible in the report bytes themselves.
+	if r.Config.MAC.Enabled() {
+		fmt.Fprintf(&b, "  mac: adr=%v confirmed=%v\n", r.Config.MAC.ADR, r.Config.MAC.Confirmed)
+		fmt.Fprintf(&b, "  downlinks: %d on air, %d received, %d budget-dropped\n",
+			r.Downlinks, r.DownlinkDeliveries, r.DownlinkDrops)
+		fmt.Fprintf(&b, "  confirmed: %d ack timeouts, %d retransmissions\n",
+			r.AckTimeouts, r.Retransmissions)
+		meanSF := "n/a" // the SF distribution lives in telemetry
+		if r.Telemetry.SF.Total() > 0 {
+			meanSF = fmt.Sprintf("%.2f", r.Telemetry.SF.MeanSF())
+		}
+		fmt.Fprintf(&b, "  adr: %d commands issued, %d applied, mean uplink SF %s\n",
+			r.ADRCommands, r.ADRApplied, meanSF)
 	}
 	if r.Config.Mobility.Model != MobilityBuses {
 		fmt.Fprintf(&b, "  mobility: %s (%d nodes)\n", r.Config.Mobility.Model, r.Config.Mobility.NumNodes)

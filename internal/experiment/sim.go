@@ -90,6 +90,33 @@ type device struct {
 	// observation).
 	acked bool
 
+	// MAC-subsystem state (zero and unread when Config.MAC is zero-valued).
+	//
+	// dr and txPowIdx are the device's current ADR-assigned link
+	// parameters; txPowDBm is the resolved transmit power (always
+	// initialised, even with the MAC off, so the transmit path reads one
+	// field). awaitingAck marks a confirmed uplink whose ack window is
+	// open: the device holds its bundle in pendFrame and transmits nothing
+	// until the ack arrives or ackTimeoutH fires.
+	dr          lorawan.DataRate
+	txPowIdx    int
+	txPowDBm    float64
+	awaitingAck bool
+	ackTimeoutH eventsim.Handle
+
+	// Pending downlink addressed to this device — at most one, freshest
+	// wins: if a generous duty cycle lets a new uplink's downlink be
+	// scheduled before the previous one lands, the replacement takes the
+	// slot and the old resolution event no-ops (resolveDownlink matches
+	// the instant against dlTx.End). dlFn resolves it; ackTimeoutFn
+	// closes the ack window.
+	dlTx         *radio.Transmission
+	dlAck        bool
+	dlCmd        lorawan.LinkADRReq
+	dlHasCmd     bool
+	dlFn         eventsim.Event
+	ackTimeoutFn eventsim.Event
+
 	// listenFraction is γx for Queue-based Class-A devices (Eq. 11),
 	// recomputed each slot; Modified Class-C devices always listen (1).
 	listenFraction float64
@@ -166,6 +193,23 @@ type sim struct {
 	rec      *telemetry.Recorder
 	tracer   *telemetry.Tracer
 	traceRun string
+
+	// MAC subsystem (all nil/zero when cfg.MAC is zero-valued — the
+	// paper's uplink-only model, byte-identical to the pre-MAC simulator).
+	macOn     bool
+	confirmed bool
+	// phyByDR holds the PHY parameters of every ADR data rate; dlAirTbl
+	// caches downlink airtimes per (data rate, with-ADR-command) pair.
+	phyByDR    [lorawan.NumDataRates]radio.PHYParams
+	dlAirTbl   [lorawan.NumDataRates][2]time.Duration
+	noiseFloor float64
+	gwTxPowDBm float64
+	// MAC diagnostics.
+	downlinks          uint64
+	downlinkDeliveries uint64
+	ackTimeouts        uint64
+	retransmissions    uint64
+	adrApplied         uint64
 }
 
 // Run executes one scenario and returns its measurements.
@@ -285,6 +329,12 @@ func Run(cfg Config) (*Result, error) {
 		s.server.SetObserver(s)
 	}
 
+	if cfg.MAC.Enabled() {
+		if err := s.setupMAC(); err != nil {
+			return nil, err
+		}
+	}
+
 	rootRNG := rng.New(cfg.Seed ^ 0xdee1)
 	s.devices = make([]*device, fleet.Len())
 	for i := 0; i < fleet.Len(); i++ {
@@ -304,6 +354,17 @@ func Run(cfg Config) (*Result, error) {
 			pendDest:       -1,
 			fwdTarget:      -1,
 			listenFraction: 1,
+			txPowDBm:       cfg.TxPowerDBm,
+		}
+		if s.macOn {
+			joinSF := cfg.MAC.InitialSF
+			if joinSF == 0 {
+				joinSF = cfg.SF
+			}
+			dr0, _ := lorawan.DataRateForSF(joinSF)
+			d.dr = dr0
+			d.dlFn = func(end time.Duration) { s.resolveDownlink(d, end) }
+			d.ackTimeoutFn = func(at time.Duration) { s.ackTimeout(d, at) }
 		}
 		d.slotFn = func(now time.Duration) {
 			if d.failed {
@@ -536,7 +597,7 @@ func (s *sim) tick(d *device, now time.Duration) {
 // sink-addressed uplink. Either way every frame is a broadcast that gateways
 // and neighbours may receive.
 func (s *sim) tryUplink(d *device, now time.Duration) {
-	if d.busy || d.failed || d.queue.Len() == 0 || !d.node.Active(now) {
+	if d.busy || d.awaitingAck || d.failed || d.queue.Len() == 0 || !d.node.Active(now) {
 		return
 	}
 	if !d.duty.CanSend(now) {
@@ -609,8 +670,9 @@ func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
 		AdvertisedRCAETX:   d.est.RCAETX(),
 		AdvertisedQueueLen: d.queue.Len() + len(bundle),
 	}
-	airtime := s.phy.Airtime(frame.PayloadBytes())
-	tx := s.medium.Begin(d.id, pos, s.cfg.TxPowerDBm, now, now+airtime, nil)
+	phy := s.uplinkPHY(d)
+	airtime := phy.Airtime(frame.PayloadBytes())
+	tx := s.medium.Begin(d.id, pos, d.txPowDBm, now, now+airtime, nil)
 
 	d.busy = true
 	d.duty.Record(now, airtime)
@@ -619,6 +681,7 @@ func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
 	d.msgSends += uint64(len(bundle))
 	s.rec.AddFrame()
 	s.rec.ObserveAirtime(airtime.Seconds())
+	s.rec.AddUplinkSF(int(phy.SF))
 
 	d.pendTx = tx
 	d.pendFrame = frame
@@ -642,11 +705,13 @@ func (s *sim) resolve(d *device, now time.Duration) {
 	// it once the transmission has ended.
 	d.pendTx = nil
 
-	gw := s.receiveAtGateways(tx)
+	gw, rssi := s.receiveAtGateways(tx)
 	switch {
 	case gw >= 0:
-		// Delivered. The gateway ACK is instant and always succeeds
-		// (Sec. VII-A5); the bundle leaves the network.
+		// Delivered. Without the MAC the gateway ACK is instant and
+		// always succeeds (Sec. VII-A5) and the bundle leaves the
+		// network; with it, the network server reacts (ADR, downlink
+		// ack) and confirmed traffic holds the bundle until acked.
 		s.rec.AddUplinkDelivery()
 		if s.tracer != nil {
 			for _, m := range frame.Messages {
@@ -661,16 +726,16 @@ func (s *sim) resolve(d *device, now time.Duration) {
 		fresh := s.server.Ingest(now, gw, frame.Messages)
 		s.rec.AddServerFresh(fresh)
 		s.throughput.Record(now, fresh)
-		d.acked = true
-		d.attempts = 0
-		d.fwdTarget = -1
-		// Next sink contact reached: the no-send-back bans lift.
-		d.noSendBack = d.noSendBack[:0]
-		// Keep draining the backlog at every duty opportunity while
-		// the contact lasts — the duty cycle is the only regulatory
-		// send-rate limit; relays carrying other devices' data must
-		// not idle until their next generation slot.
-		s.scheduleNextAttempt(d)
+		if s.macOn {
+			s.macUplink(d, gw, rssi, now)
+		} else {
+			// Keep draining the backlog at every duty opportunity
+			// while the contact lasts — the duty cycle is the only
+			// regulatory send-rate limit; relays carrying other
+			// devices' data must not idle until their next
+			// generation slot.
+			s.uplinkAcked(d)
+		}
 	case dest >= 0:
 		// One handover attempt per decision, win or lose.
 		d.fwdTarget = -1
@@ -709,10 +774,11 @@ type gwCand struct {
 
 // receiveAtGateways attempts reception at every gateway inside the gateway
 // range, nearest first, and returns the first that decodes the frame (-1 if
-// none). The candidate scratch is reused across calls and ordered by
-// insertion sort — the total (dist, idx) key makes the order identical to
-// any comparison sort, and in-range gateway counts are single digits.
-func (s *sim) receiveAtGateways(tx *radio.Transmission) int {
+// none) along with the RSSI it observed (the MAC layer's SNR input). The
+// candidate scratch is reused across calls and ordered by insertion sort —
+// the total (dist, idx) key makes the order identical to any comparison
+// sort, and in-range gateway counts are single digits.
+func (s *sim) receiveAtGateways(tx *radio.Transmission) (int, float64) {
 	cands := s.gwCands[:0]
 	maxR := s.cfg.GatewayRangeM
 	for i, gp := range s.gws {
@@ -742,10 +808,10 @@ func (s *sim) receiveAtGateways(tx *radio.Transmission) int {
 	s.gwCands = cands[:0]
 	for _, c := range cands {
 		if rec := s.medium.Receive(tx, s.gws[c.idx]); rec.OK() {
-			return c.idx
+			return c.idx, rec.RSSIDBm
 		}
 	}
-	return -1
+	return -1, 0
 }
 
 // resolveHandover completes a device-to-device transfer: if the target
@@ -907,8 +973,9 @@ func (s *sim) overhear(sender *device, tx *radio.Transmission, frame lorawan.Fra
 		if z.bannedSendBack(sender.id) {
 			continue
 		}
-		// One RSSI measurement per overheard broadcast feeds Eq. (5).
-		rssi := s.d2dLoss.RSSI(s.cfg.TxPowerDBm, dist, s.d2dShadow)
+		// One RSSI measurement per overheard broadcast feeds Eq. (5),
+		// at the sender's (possibly ADR-lowered) transmit power.
+		rssi := s.d2dLoss.RSSI(sender.txPowDBm, dist, s.d2dShadow)
 		linkETX := s.link.RCAETX(rssi)
 		local := routing.LocalState{
 			RCAETX:   z.est.RCAETX(),

@@ -1,0 +1,248 @@
+package experiment
+
+import (
+	"time"
+
+	"mlorass/internal/lorawan"
+	"mlorass/internal/mac"
+	"mlorass/internal/netserver"
+	"mlorass/internal/radio"
+)
+
+// This file is the simulator side of the MAC subsystem (Config.MAC): the
+// first bidirectional traffic in the reproduction. Uplinks decoded at a
+// gateway feed the network server's ADR controller; confirmed uplinks and
+// pending LinkADRReq commands are answered by gateway downlinks placed into
+// the Class-A RX1/RX2 windows under a per-gateway duty budget, transmitted
+// on the same shared medium as the uplinks (so downlink airtime interferes
+// with uplink traffic, as on a real single-channel deployment). Every entry
+// point below is reached only when cfg.MAC.Enabled(): a zero-valued MAC
+// config schedules no events, draws no random numbers, and leaves the run
+// byte-identical to the paper's uplink-only model.
+
+// setupMAC assembles the MAC control plane: per-DR PHY tables, the downlink
+// airtime cache, the network server's ADR controller and per-gateway
+// downlink scheduler.
+func (s *sim) setupMAC() error {
+	s.macOn = true
+	s.confirmed = s.cfg.MAC.Confirmed
+	for dr := 0; dr < lorawan.NumDataRates; dr++ {
+		s.phyByDR[dr] = radio.DefaultPHY(lorawan.DataRate(dr).SF())
+		// Downlink airtimes per data rate, without and with a piggybacked
+		// LinkADRReq.
+		s.dlAirTbl[dr][0] = s.phyByDR[dr].Airtime(lorawan.DownlinkBytes(false))
+		s.dlAirTbl[dr][1] = s.phyByDR[dr].Airtime(lorawan.DownlinkBytes(true))
+	}
+	s.noiseFloor = radio.NoiseFloorDBm(s.phy.BandwidthHz)
+	// Resolved by Normalize: 0 selected the device power.
+	s.gwTxPowDBm = s.cfg.MAC.DownlinkTxPowerDBm
+
+	var ctrl *mac.Controller
+	if s.cfg.MAC.ADR {
+		var err error
+		ctrl, err = mac.NewController(mac.ADRConfig{
+			MarginDB:   s.cfg.MAC.ADRMarginDB,
+			HistoryLen: s.cfg.MAC.ADRHistory,
+			StepDB:     3,
+			MinHistory: s.cfg.MAC.ADRMinHistory,
+		}, s.fleet.Len())
+		if err != nil {
+			return err
+		}
+	}
+	sched, err := mac.NewScheduler(len(s.gws), s.cfg.MAC.DownlinkDutyCycle)
+	if err != nil {
+		return err
+	}
+	s.server.AttachMAC(&netserver.MAC{ADR: ctrl, Sched: sched})
+	return nil
+}
+
+// uplinkPHY returns the PHY parameters the device's next uplink uses: the
+// fixed configured SF without the MAC, the device's ADR data rate with it.
+func (s *sim) uplinkPHY(d *device) *radio.PHYParams {
+	if s.macOn {
+		return &s.phyByDR[d.dr]
+	}
+	return &s.phy
+}
+
+// rxTiming returns the receive-window timing for a downlink answering one of
+// d's uplinks. When ADR is on, every downlink budgets the full ack+command
+// frame, so window selection never depends on the controller's decision.
+func (s *sim) rxTiming(d *device) netserver.RxTiming {
+	withCmd := 0
+	if s.cfg.MAC.ADR {
+		withCmd = 1
+	}
+	return netserver.RxTiming{
+		RX1Delay: s.cfg.MAC.RX1Delay,
+		RX2Delay: s.cfg.MAC.RX2Delay,
+		// RX1 answers on the uplink data rate, RX2 on the fixed fallback.
+		RX1Air: s.dlAirTbl[d.dr][withCmd],
+		RX2Air: s.dlAirTbl[lorawan.DefaultRX2DataRate][withCmd],
+	}
+}
+
+// macUplink runs the MAC reaction to one of d's uplinks decoded by gateway
+// gw at instant now (the uplink's end): the network server observes the SNR,
+// may issue an ADR command, and schedules the ack/command downlink. For
+// confirmed traffic the device then waits for the ack — the bundle stays
+// parked in pendFrame until the ack arrives or the window closes; for
+// unconfirmed traffic the uplink completes immediately, exactly like the
+// paper's instant-ack model.
+func (s *sim) macUplink(d *device, gw int, rssiDBm float64, now time.Duration) {
+	snr := rssiDBm - s.noiseFloor
+	plan, ok := s.server.MAC().OnUplink(
+		d.id, gw, snr, d.dr, d.txPowIdx, s.confirmed, now, s.rxTiming(d))
+	// ok is false both when no downlink is due (unconfirmed, no pending
+	// command) and when the gateway's duty budget had no open window; the
+	// scheduler's own stats count the true drops, reconciled into the
+	// telemetry snapshot by collect. A dropped ack means the device times
+	// out and retransmits an already-delivered bundle — a duplicate the
+	// server deduplicates, the cost of a congested downlink budget.
+	if ok {
+		s.sendDownlink(d, plan)
+	}
+	if !s.confirmed {
+		s.uplinkAcked(d)
+		return
+	}
+	d.awaitingAck = true
+	// The ack window closes once RX2's frame could no longer be on the
+	// air; one extra millisecond keeps the timeout strictly after any
+	// RX2 resolution at equal instants.
+	deadline := now + s.cfg.MAC.RX2Delay + s.rxTiming(d).RX2Air + time.Millisecond
+	h, err := s.es.At(deadline, d.ackTimeoutFn)
+	if err != nil {
+		// Unreachable for a positive deadline; fail open to the
+		// unconfirmed behaviour rather than wedging the device.
+		d.awaitingAck = false
+		s.uplinkAcked(d)
+		return
+	}
+	d.ackTimeoutH = h
+}
+
+// uplinkAcked finalises a successful uplink: the contact observation, retry
+// reset, forwarding-state clears, and backlog continuation shared by the
+// paper's instant ack, the unconfirmed MAC path, and a received ack
+// downlink.
+func (s *sim) uplinkAcked(d *device) {
+	d.acked = true
+	d.attempts = 0
+	d.fwdTarget = -1
+	// Next sink contact reached: the no-send-back bans lift.
+	d.noSendBack = d.noSendBack[:0]
+	s.scheduleNextAttempt(d)
+}
+
+// sendDownlink puts a planned gateway downlink on the shared medium and arms
+// its resolution event. Gateway transmitter ids are negative (-1-gw) so the
+// medium's same-sender overlap skip never aliases a device id. Replacing a
+// still-pending downlink is deliberate (freshest wins — see resolveDownlink);
+// the replaced frame stays on the medium as interference but is never
+// decoded.
+func (s *sim) sendDownlink(d *device, plan netserver.DownlinkPlan) {
+	tx := s.medium.Begin(-1-plan.Gateway, s.gws[plan.Gateway], s.gwTxPowDBm,
+		plan.Start, plan.Start+plan.AirTime, nil)
+	d.dlTx = tx
+	d.dlAck = plan.Ack
+	d.dlCmd = plan.Cmd
+	d.dlHasCmd = plan.HasCmd
+	s.downlinks++
+	s.rec.AddDownlink()
+	if _, err := s.es.At(plan.Start+plan.AirTime, d.dlFn); err != nil {
+		d.dlTx = nil // unreachable for future instants
+	}
+}
+
+// resolveDownlink completes a gateway downlink at its end-of-air instant:
+// the device decodes it if it is alive, in gateway range, not transmitting,
+// and the shared-medium reception (collisions with uplink traffic included)
+// succeeds. A lost downlink is simply not received — the ack timeout or a
+// later ADR command retry recovers it.
+//
+// A resolution whose instant does not match the pending transmission's end
+// is stale: at generous uplink duty cycles an unconfirmed device can uplink
+// again before its previous downlink lands, and sendDownlink then replaces
+// the pending downlink (the device radio could never decode two anyway).
+// The replaced downlink's event must not resolve the replacement early —
+// medium.Receive is only valid at a transmission's own end.
+func (s *sim) resolveDownlink(d *device, end time.Duration) {
+	tx := d.dlTx
+	if tx == nil || tx.End != end {
+		return
+	}
+	d.dlTx = nil
+	pos, ok := s.devPos(d, end)
+	if !ok || d.busy || d.failed || tx.Pos.Dist(pos) > s.cfg.GatewayRangeM ||
+		!s.medium.Receive(tx, pos).OK() {
+		return
+	}
+	s.downlinkDeliveries++
+	s.rec.AddDownlinkDelivery()
+	if d.dlHasCmd {
+		if ans := d.dlCmd.Apply(); ans.Accepted() {
+			if adr := s.server.MAC().ADR; adr != nil && d.dlCmd.DataRate != d.dr {
+				// SNR samples measured at the old data rate must not
+				// drive the next decision.
+				adr.Reset(d.id)
+			}
+			d.dr = d.dlCmd.DataRate
+			d.txPowIdx = d.dlCmd.TxPowerIndex
+			// The TXPower ladder is anchored at the configured baseline
+			// power: index 0 reproduces the fixed-power paper setting.
+			d.txPowDBm = lorawan.TxPowerDBm(s.cfg.TxPowerDBm, d.txPowIdx)
+			s.adrApplied++
+			s.rec.AddADRApplied()
+		}
+	}
+	if d.dlAck {
+		s.ackReceived(d)
+	}
+}
+
+// ackReceived closes a confirmed uplink successfully.
+func (s *sim) ackReceived(d *device) {
+	if !d.awaitingAck {
+		return
+	}
+	d.awaitingAck = false
+	s.es.Cancel(d.ackTimeoutH)
+	s.uplinkAcked(d)
+}
+
+// ackTimeout fires when a confirmed uplink's ack window closes unanswered:
+// the bundle returns to the queue head and the device retransmits after the
+// LoRaWAN ack backoff (on top of its duty-cycle silence), up to the retry
+// budget. An exhausted budget leaves the messages queued for the next slot,
+// mirroring the unconfirmed retry policy.
+func (s *sim) ackTimeout(d *device, now time.Duration) {
+	if !d.awaitingAck {
+		return
+	}
+	d.awaitingAck = false
+	s.ackTimeouts++
+	s.rec.AddAckTimeout()
+	d.queue.PushFront(d.pendFrame.Messages)
+	if d.failed {
+		return
+	}
+	d.attempts++
+	if d.attempts >= s.cfg.MAC.AckRetryMax {
+		return
+	}
+	s.retransmissions++
+	s.rec.AddRetransmission()
+	at := d.duty.NextFree()
+	if b := now + mac.AckBackoff(d.attempts, d.rnd); b > at {
+		at = b
+	}
+	if !d.retryScheduled {
+		d.retryScheduled = true
+		if _, err := s.es.At(at, d.retryFn); err != nil {
+			d.retryScheduled = false
+		}
+	}
+}

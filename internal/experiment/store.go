@@ -21,7 +21,10 @@ import (
 // previously stored artefact silently becomes a miss. This is the store's
 // entire cache-invalidation model: keys are content-addressed over
 // (schema version, semantic config, seed), never expired by time.
-const storeSchemaVersion = 1
+//
+// Version 2: the MAC subsystem (Config.MAC in the key, downlink/ADR
+// measurements and the SF distribution in the artefact).
+const storeSchemaVersion = 2
 
 // storeKey is the canonical, deterministic description of everything that
 // determines a Run's Result. Field order is fixed by the struct; every
@@ -54,6 +57,7 @@ type storeKey struct {
 	CaptureDB         float64               `json:"capture_db"`
 	ThroughputBin     time.Duration         `json:"throughput_bin"`
 	TelemetryDisabled bool                  `json:"telemetry_disabled"`
+	MAC               MACConfig             `json:"mac"`
 }
 
 // cacheKey returns the run store key for cfg. ok is false when the config
@@ -90,6 +94,7 @@ func cacheKey(cfg Config) (key string, ok bool) {
 		CaptureDB:         cfg.CaptureDB,
 		ThroughputBin:     cfg.ThroughputBin,
 		TelemetryDisabled: cfg.Telemetry.Disabled,
+		MAC:               cfg.MAC,
 	}
 	b, err := json.Marshal(k)
 	if err != nil {
@@ -126,6 +131,13 @@ type resultArtifact struct {
 	DeviceFailures       int                `json:"device_failures"`
 	DirectDelay          stats.Summary      `json:"direct_delay"`
 	RelayedDelay         stats.Summary      `json:"relayed_delay"`
+	Downlinks            uint64             `json:"downlinks"`
+	DownlinkDeliveries   uint64             `json:"downlink_deliveries"`
+	DownlinkDrops        uint64             `json:"downlink_drops"`
+	AckTimeouts          uint64             `json:"ack_timeouts"`
+	Retransmissions      uint64             `json:"retransmissions"`
+	ADRCommands          uint64             `json:"adr_commands"`
+	ADRApplied           uint64             `json:"adr_applied"`
 	Telemetry            telemetry.Snapshot `json:"telemetry"`
 	RawDelays            []float64          `json:"raw_delays"`
 	OriginDelivered      []int              `json:"origin_delivered"`
@@ -155,6 +167,13 @@ func encodeResult(r *Result) ([]byte, error) {
 		DeviceFailures:       r.DeviceFailures,
 		DirectDelay:          r.DirectDelay,
 		RelayedDelay:         r.RelayedDelay,
+		Downlinks:            r.Downlinks,
+		DownlinkDeliveries:   r.DownlinkDeliveries,
+		DownlinkDrops:        r.DownlinkDrops,
+		AckTimeouts:          r.AckTimeouts,
+		Retransmissions:      r.Retransmissions,
+		ADRCommands:          r.ADRCommands,
+		ADRApplied:           r.ADRApplied,
 		Telemetry:            r.Telemetry,
 		RawDelays:            r.rawDelays,
 		OriginDelivered:      r.originDelivered,
@@ -162,7 +181,12 @@ func encodeResult(r *Result) ([]byte, error) {
 }
 
 // decodeResult restores a stored artefact as the Result that Run(cfg) would
-// have produced, rejecting artefacts from another schema version.
+// have produced, rejecting artefacts from another schema version and
+// artefacts that parse but fail the structural invariants every real run
+// satisfies. The integrity check matters for crash recovery: a truncated or
+// hand-damaged file that still happens to be valid JSON (`{"schema":2}`,
+// say) must read as corruption — to be recomputed and overwritten — not as
+// a cached cell of zeros that silently poisons a sweep.
 func decodeResult(data []byte, cfg Config) (*Result, error) {
 	var a resultArtifact
 	if err := json.Unmarshal(data, &a); err != nil {
@@ -170,6 +194,17 @@ func decodeResult(data []byte, cfg Config) (*Result, error) {
 	}
 	if a.Schema != storeSchemaVersion {
 		return nil, fmt.Errorf("experiment: stored artefact schema %d, want %d", a.Schema, storeSchemaVersion)
+	}
+	if a.Throughput == nil {
+		return nil, fmt.Errorf("experiment: stored artefact has no throughput series (truncated?)")
+	}
+	if a.Delivered < 0 || len(a.RawDelays) != a.Delivered || len(a.OriginDelivered) != a.Delivered {
+		return nil, fmt.Errorf("experiment: stored artefact delivery samples %d/%d inconsistent with delivered %d (truncated?)",
+			len(a.RawDelays), len(a.OriginDelivered), a.Delivered)
+	}
+	if a.Delay.N() != uint64(a.Delivered) || a.Hops.N() != uint64(a.Delivered) {
+		return nil, fmt.Errorf("experiment: stored artefact summaries (n=%d/%d) inconsistent with delivered %d (truncated?)",
+			a.Delay.N(), a.Hops.N(), a.Delivered)
 	}
 	cfg.Normalize()
 	return &Result{
@@ -194,6 +229,13 @@ func decodeResult(data []byte, cfg Config) (*Result, error) {
 		DeviceFailures:       a.DeviceFailures,
 		DirectDelay:          a.DirectDelay,
 		RelayedDelay:         a.RelayedDelay,
+		Downlinks:            a.Downlinks,
+		DownlinkDeliveries:   a.DownlinkDeliveries,
+		DownlinkDrops:        a.DownlinkDrops,
+		AckTimeouts:          a.AckTimeouts,
+		Retransmissions:      a.Retransmissions,
+		ADRCommands:          a.ADRCommands,
+		ADRApplied:           a.ADRApplied,
 		Telemetry:            a.Telemetry,
 		rawDelays:            a.RawDelays,
 		originDelivered:      a.OriginDelivered,

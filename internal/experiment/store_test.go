@@ -33,6 +33,8 @@ func TestCacheKeyDeterministicAndSensitive(t *testing.T) {
 		"outage":    func(c *Config) { c.Disruption.GatewayOutageFraction = 0.5 },
 		"mobility":  func(c *Config) { c.Mobility.Model = MobilityRandomWaypoint },
 		"telemetry": func(c *Config) { c.Telemetry.Disabled = true },
+		"mac-adr":   func(c *Config) { c.MAC.ADR = true },
+		"mac-conf":  func(c *Config) { c.MAC.Confirmed = true },
 	}
 	for name, mutate := range variants {
 		c := cfg
@@ -200,6 +202,120 @@ func TestParallelSweepStoreResume(t *testing.T) {
 	if sweepTables(points) != sweepTables(fresh) {
 		t.Fatal("resumed sweep tables differ from from-scratch sweep")
 	}
+}
+
+// TestRunThroughStoreTruncatedArtefact is the regression test for the
+// truncated-artefact family: files damaged in ways that still parse as JSON
+// (a crash mid-rewrite, a hand-edited store, disk corruption landing on a
+// value) must read as corruption and be recomputed, never served as a cached
+// cell of zeros. The nastiest case — `{"schema":N}` with the current schema
+// number — previously decoded "successfully" into an all-zero Result with a
+// nil throughput series.
+func TestRunThroughStoreTruncatedArtefact(t *testing.T) {
+	cfg := sweepTestConfig()
+	key, ok := cacheKey(cfg)
+	if !ok {
+		t.Fatal("config not cacheable")
+	}
+	// A genuine artefact, to derive realistic truncations from.
+	genuine, err := encodeResult(mustRun(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string][]byte{
+		"empty file":          {},
+		"json null":           []byte("null"),
+		"garbage":             []byte("\x00\xff\x17 not json at all"),
+		"truncated mid-token": genuine[:len(genuine)/2],
+		"valid json, current schema, no fields": []byte(fmt.Sprintf(`{"schema":%d}`, storeSchemaVersion)),
+		"schema only, no throughput":            []byte(fmt.Sprintf(`{"schema":%d,"delivered":3}`, storeSchemaVersion)),
+		"inconsistent delivery samples":         []byte(fmt.Sprintf(`{"schema":%d,"delivered":3,"throughput":{"bin_seconds":600,"counts":[0]},"raw_delays":[1.0]}`, storeSchemaVersion)),
+		"stale schema":                          []byte(`{"schema":1}`),
+	}
+	for name, data := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			store, err := runstore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Put(key, data); err != nil {
+				t.Fatal(err)
+			}
+			res, cached, err := runThroughStore(store, cfg)
+			if err != nil {
+				t.Fatalf("corrupt artefact failed the cell: %v", err)
+			}
+			if cached {
+				t.Fatal("corrupt artefact served as a cached result")
+			}
+			if res.Throughput == nil || res.Delivered == 0 {
+				t.Fatal("recomputed cell is not a real run")
+			}
+			// The recompute repaired the entry: the next read hits and
+			// round-trips the real result.
+			res2, cached2, err := runThroughStore(store, cfg)
+			if err != nil || !cached2 {
+				t.Fatalf("after repair: cached=%v err=%v", cached2, err)
+			}
+			if res2.Report() != res.Report() {
+				t.Fatal("repaired artefact renders differently")
+			}
+		})
+	}
+}
+
+// TestSweepResumesOverTruncatedArtefact drives the same regression through
+// the full sweep engine: one truncated cell in an otherwise warm store must
+// cost exactly one re-simulation, not fail (or poison) the sweep.
+func TestSweepResumesOverTruncatedArtefact(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sweepTestConfig()
+	opts := SweepOptions{Workers: 2, Reps: 1, Store: store}
+	first, err := ParallelSweep(base, Urban, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate one stored cell the way a crash mid-rewrite would.
+	cfg := base
+	cfg.Environment = Urban
+	cfg.D2DRangeM = 0
+	cfg.NumGateways = GatewaySweep()[0]
+	cfg.Scheme = routing.SchemeNoRouting
+	cfg.Seed = RepSeed(base.Seed, 0)
+	key, ok := cacheKey(cfg)
+	if !ok {
+		t.Fatal("cell not cacheable")
+	}
+	if err := store.Put(key, []byte(fmt.Sprintf(`{"schema":%d}`, storeSchemaVersion))); err != nil {
+		t.Fatal(err)
+	}
+	recomputed := 0
+	second, err := ParallelSweepFunc(base, Urban, opts, func(u CellUpdate) {
+		if !u.Cached {
+			recomputed++
+		}
+	})
+	if err != nil {
+		t.Fatalf("sweep failed over a truncated artefact: %v", err)
+	}
+	if recomputed != 1 {
+		t.Fatalf("truncated cell cost %d re-simulations, want exactly 1", recomputed)
+	}
+	if got, want := sweepTables(second), sweepTables(first); got != want {
+		t.Fatalf("recomputed sweep tables differ:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 // TestRunThroughStoreCorruptArtefact checks self-healing: a corrupt stored

@@ -1,0 +1,159 @@
+package lorawan
+
+import (
+	"fmt"
+	"time"
+
+	"mlorass/internal/radio"
+)
+
+// DataRate is a LoRaWAN EU868 uplink data-rate index. Higher indices are
+// faster: DR0 is SF12/125 kHz (slowest, longest range) through DR5, SF7/125
+// kHz (fastest). The FSK rate DR6+ and the 250 kHz DR are outside the
+// paper's single-channel 125 kHz setting and are not modelled.
+type DataRate int
+
+// EU868 LoRa data rates at 125 kHz bandwidth.
+const (
+	DR0 DataRate = iota // SF12
+	DR1                 // SF11
+	DR2                 // SF10
+	DR3                 // SF9
+	DR4                 // SF8
+	DR5                 // SF7
+	// MaxDataRate is the fastest LoRa data rate ADR may assign.
+	MaxDataRate = DR5
+	// NumDataRates sizes per-DR lookup tables.
+	NumDataRates = int(MaxDataRate) + 1
+)
+
+// Valid reports whether dr is in [DR0, DR5].
+func (dr DataRate) Valid() bool { return dr >= DR0 && dr <= MaxDataRate }
+
+// String renders e.g. "DR5(SF7)".
+func (dr DataRate) String() string {
+	if !dr.Valid() {
+		return fmt.Sprintf("DataRate(%d)", int(dr))
+	}
+	return fmt.Sprintf("DR%d(SF%d)", int(dr), int(dr.SF()))
+}
+
+// SF returns the spreading factor of this data rate: DR0 → SF12 ... DR5 →
+// SF7.
+func (dr DataRate) SF() radio.SpreadingFactor {
+	return radio.SF12 - radio.SpreadingFactor(dr)
+}
+
+// DataRateForSF maps a spreading factor to its EU868 125 kHz data rate:
+// SF12 → DR0 ... SF7 → DR5. Invalid spreading factors report ok=false.
+func DataRateForSF(sf radio.SpreadingFactor) (DataRate, bool) {
+	if !sf.Valid() {
+		return 0, false
+	}
+	return DataRate(radio.SF12 - sf), true
+}
+
+// MaxTxPowerIndex is the highest TXPower index of the modelled EU868 ladder.
+// Index 0 is the device's configured operating power (the paper's 14 dBm);
+// each step drops 2 dB. (The regional-parameters ladder is anchored at
+// MaxEIRP; the reproduction anchors at the configured power so index 0
+// always reproduces the fixed-power baseline exactly.)
+const MaxTxPowerIndex = 5
+
+// TxPowerStepDB is the power reduction per TXPower index step.
+const TxPowerStepDB = 2
+
+// TxPowerDBm returns the transmit power of a TXPower index on a ladder
+// anchored at the given index-0 power (the device's configured operating
+// power), clamping out-of-range indices into the ladder.
+func TxPowerDBm(anchorDBm float64, index int) float64 {
+	if index < 0 {
+		index = 0
+	}
+	if index > MaxTxPowerIndex {
+		index = MaxTxPowerIndex
+	}
+	return anchorDBm - TxPowerStepDB*float64(index)
+}
+
+// LinkADRReq is the network server's adaptive-data-rate MAC command: it asks
+// a device to switch to the given data rate and TXPower index, transmitting
+// each confirmed uplink up to NbTrans times. Channel-mask fields are omitted
+// — the paper's network is single-channel.
+type LinkADRReq struct {
+	// DataRate is the requested uplink data rate.
+	DataRate DataRate
+	// TxPowerIndex is the requested TXPower ladder index (see TxPowerDBm).
+	TxPowerIndex int
+	// NbTrans is the requested transmission count per uplink (0 keeps the
+	// device's current setting).
+	NbTrans int
+}
+
+// Validate reports malformed commands.
+func (r LinkADRReq) Validate() error {
+	if !r.DataRate.Valid() {
+		return fmt.Errorf("lorawan: LinkADRReq data rate %d out of [DR0, DR%d]", int(r.DataRate), int(MaxDataRate))
+	}
+	if r.TxPowerIndex < 0 || r.TxPowerIndex > MaxTxPowerIndex {
+		return fmt.Errorf("lorawan: LinkADRReq TXPower index %d out of [0, %d]", r.TxPowerIndex, MaxTxPowerIndex)
+	}
+	if r.NbTrans < 0 {
+		return fmt.Errorf("lorawan: LinkADRReq NbTrans %d negative", r.NbTrans)
+	}
+	return nil
+}
+
+// LinkADRAns is the device's acknowledgement of a LinkADRReq. A device
+// rejects a component it cannot satisfy and then applies none of the command
+// (LoRaWAN 1.0.x semantics).
+type LinkADRAns struct {
+	// DataRateACK reports the requested data rate was acceptable.
+	DataRateACK bool
+	// PowerACK reports the requested TXPower index was acceptable.
+	PowerACK bool
+}
+
+// Accepted reports whether the device applied the command.
+func (a LinkADRAns) Accepted() bool { return a.DataRateACK && a.PowerACK }
+
+// Apply answers a LinkADRReq for a device currently at the given settings:
+// an in-range command is accepted (and the caller installs req's settings),
+// an out-of-range one is rejected wholesale.
+func (r LinkADRReq) Apply() LinkADRAns {
+	return LinkADRAns{
+		DataRateACK: r.DataRate.Valid(),
+		PowerACK:    r.TxPowerIndex >= 0 && r.TxPowerIndex <= MaxTxPowerIndex,
+	}
+}
+
+// DownlinkOverheadBytes is the PHY payload of an empty downlink frame: MHDR
+// (1), FHDR (7), MIC (4). Acks are carried in the FHDR's ACK bit, so a plain
+// ack downlink is exactly this size.
+const DownlinkOverheadBytes = 12
+
+// LinkADRReqBytes is the FOpts cost of one LinkADRReq: CID (1) + DataRate/
+// TXPower (1) + ChMask (2) + Redundancy (1).
+const LinkADRReqBytes = 5
+
+// DownlinkBytes returns the PHY payload size of an ack/command downlink.
+func DownlinkBytes(withADR bool) int {
+	if withADR {
+		return DownlinkOverheadBytes + LinkADRReqBytes
+	}
+	return DownlinkOverheadBytes
+}
+
+// Receive-window timing (LoRaWAN 1.0.x EU868 defaults): RX1 opens
+// RECEIVE_DELAY1 after the uplink ends on the uplink channel and data rate;
+// RX2 opens one second later on the fixed RX2 channel parameters.
+const (
+	// DefaultRX1Delay is RECEIVE_DELAY1.
+	DefaultRX1Delay = 1 * time.Second
+	// DefaultRX2Delay is RECEIVE_DELAY2 = RECEIVE_DELAY1 + 1 s.
+	DefaultRX2Delay = 2 * time.Second
+)
+
+// DefaultRX2DataRate is the EU868 RX2 data rate (DR0, SF12): the slow,
+// long-range fallback window.
+const DefaultRX2DataRate = DR0

@@ -1,0 +1,215 @@
+// Package mac implements the LoRaWAN MAC-layer control plane the paper's
+// evaluation deliberately switches off (Sec. VII-A5 fixes SF7 because "ADR
+// degrades under mobility") and which this reproduction adds as a scenario
+// axis: a network-server Adaptive Data Rate controller driven by per-device
+// uplink SNR history, and a per-gateway downlink scheduler that places
+// ack/command downlinks into the Class-A RX1/RX2 receive windows under a
+// transmit duty-cycle budget.
+//
+// The package is pure decision logic — no virtual time, no radio state. The
+// simulator (internal/experiment) owns the event timeline and the shared
+// medium; internal/netserver composes this package's Controller and
+// Scheduler into the network-server side of the MAC loop.
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"mlorass/internal/lorawan"
+	"mlorass/internal/rng"
+)
+
+// ADRConfig parameterises the SNR-margin ADR algorithm.
+type ADRConfig struct {
+	// MarginDB is the installation margin subtracted from the measured
+	// link headroom before converting it to data-rate steps (LoRaWAN ADR
+	// default: 10 dB — slack for fading the history did not sample).
+	MarginDB float64
+	// HistoryLen is the per-device uplink SNR window the decision reads
+	// (LoRaWAN ADR default: the last 20 uplinks).
+	HistoryLen int
+	// StepDB is the SNR headroom one data-rate step consumes (2.5 dB per
+	// SF step on the SX1276 demodulation-floor ladder; the LoRaWAN
+	// reference algorithm rounds it to 3 dB, which this default follows).
+	StepDB float64
+	// MinHistory is the number of observed uplinks required before the
+	// controller issues its first command to a device (a decision from one
+	// lucky frame would whipsaw a mobile device's data rate).
+	MinHistory int
+}
+
+// DefaultADRConfig returns the LoRaWAN reference parameters.
+func DefaultADRConfig() ADRConfig {
+	return ADRConfig{MarginDB: 10, HistoryLen: 20, StepDB: 3, MinHistory: 4}
+}
+
+// Validate reports configuration errors.
+func (c ADRConfig) Validate() error {
+	if c.HistoryLen <= 0 {
+		return fmt.Errorf("mac: ADR history length %d must be positive", c.HistoryLen)
+	}
+	if c.StepDB <= 0 {
+		return fmt.Errorf("mac: ADR step %v dB must be positive", c.StepDB)
+	}
+	if c.MinHistory <= 0 || c.MinHistory > c.HistoryLen {
+		return fmt.Errorf("mac: ADR min history %d outside [1, %d]", c.MinHistory, c.HistoryLen)
+	}
+	return nil
+}
+
+// devHistory is one device's rolling uplink SNR window.
+type devHistory struct {
+	snr  []float64 // ring buffer, cfg.HistoryLen capacity
+	next int       // ring write position
+	n    int       // observations stored (≤ len(snr))
+}
+
+// Controller is the network-server ADR decision engine: it records each
+// decoded uplink's SNR per device and, when asked, emits the LinkADRReq that
+// moves the device to the fastest data rate (then lowest transmit power) the
+// measured headroom supports. Not safe for concurrent use; it lives on the
+// single-threaded simulator.
+type Controller struct {
+	cfg  ADRConfig
+	devs []devHistory
+}
+
+// NewController builds a controller for numDevices devices.
+func NewController(cfg ADRConfig, numDevices int) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numDevices < 0 {
+		return nil, fmt.Errorf("mac: negative device count %d", numDevices)
+	}
+	return &Controller{cfg: cfg, devs: make([]devHistory, numDevices)}, nil
+}
+
+// Observe records one decoded uplink's SNR for a device. Out-of-range device
+// indices are ignored (defensive: churned devices cannot corrupt state).
+func (c *Controller) Observe(dev int, snrDB float64) {
+	if dev < 0 || dev >= len(c.devs) {
+		return
+	}
+	h := &c.devs[dev]
+	if h.snr == nil {
+		h.snr = make([]float64, c.cfg.HistoryLen)
+	}
+	h.snr[h.next] = snrDB
+	h.next = (h.next + 1) % len(h.snr)
+	if h.n < len(h.snr) {
+		h.n++
+	}
+}
+
+// MaxSNR returns the maximum SNR in the device's history window and how many
+// uplinks it spans (0, 0 when nothing was observed).
+func (c *Controller) MaxSNR(dev int) (snrDB float64, n int) {
+	if dev < 0 || dev >= len(c.devs) {
+		return 0, 0
+	}
+	h := &c.devs[dev]
+	if h.n == 0 {
+		return 0, 0
+	}
+	m := h.snr[0]
+	for _, v := range h.snr[1:h.n] {
+		if v > m {
+			m = v
+		}
+	}
+	return m, h.n
+}
+
+// TargetLink computes the (data rate, TXPower index) the SNR-margin
+// algorithm assigns given the best SNR observed at the current data rate:
+//
+//	steps = floor((maxSNR − RequiredSNR(cur) − margin) / step)
+//
+// Positive steps first raise the data rate toward DR5, then lower transmit
+// power down the ladder; negative steps raise transmit power back toward
+// index 0. The data rate is never lowered — LoRaWAN leaves downward
+// adaptation to the device's own ADR backoff, which the simulator models as
+// retransmission failure, not here.
+func TargetLink(maxSNRDB float64, cur lorawan.DataRate, curPow int, marginDB, stepDB float64) (lorawan.DataRate, int) {
+	if !cur.Valid() {
+		cur = lorawan.DR0
+	}
+	if curPow < 0 {
+		curPow = 0
+	}
+	if curPow > lorawan.MaxTxPowerIndex {
+		curPow = lorawan.MaxTxPowerIndex
+	}
+	headroom := maxSNRDB - cur.SF().RequiredSNR() - marginDB
+	steps := int(headroom / stepDB)
+	if headroom < 0 && float64(steps)*stepDB != headroom {
+		steps-- // floor toward -inf for negative headroom
+	}
+	dr, pow := cur, curPow
+	for steps > 0 && dr < lorawan.MaxDataRate {
+		dr++
+		steps--
+	}
+	for steps > 0 && pow < lorawan.MaxTxPowerIndex {
+		pow++
+		steps--
+	}
+	for steps < 0 && pow > 0 {
+		pow--
+		steps++
+	}
+	return dr, pow
+}
+
+// Decide returns the LinkADRReq moving the device from its current settings
+// to the algorithm's target, and whether a command is warranted at all: the
+// history must span MinHistory uplinks and the target must differ from the
+// current settings.
+func (c *Controller) Decide(dev int, cur lorawan.DataRate, curPow int) (lorawan.LinkADRReq, bool) {
+	maxSNR, n := c.MaxSNR(dev)
+	if n < c.cfg.MinHistory {
+		return lorawan.LinkADRReq{}, false
+	}
+	dr, pow := TargetLink(maxSNR, cur, curPow, c.cfg.MarginDB, c.cfg.StepDB)
+	if dr == cur && pow == curPow {
+		return lorawan.LinkADRReq{}, false
+	}
+	return lorawan.LinkADRReq{DataRate: dr, TxPowerIndex: pow}, true
+}
+
+// Reset clears a device's history — called when the device's data rate
+// changes, so stale SNR samples measured at the old rate do not drive the
+// next decision.
+func (c *Controller) Reset(dev int) {
+	if dev < 0 || dev >= len(c.devs) {
+		return
+	}
+	h := &c.devs[dev]
+	h.n, h.next = 0, 0
+}
+
+// AckBackoff returns the confirmed-uplink retransmission backoff before
+// attempt number attempt (1-based count of timeouts so far): the LoRaWAN
+// ACK_TIMEOUT jitter of 1–3 s doubled per retry, capped at 64 s. The duty
+// governor's silent period is enforced on top by the device state machine.
+// rnd may be nil for the deterministic midpoint.
+func AckBackoff(attempt int, rnd *rng.Source) time.Duration {
+	base := 2 * time.Second
+	if rnd != nil {
+		base = time.Duration(rnd.Uniform(1, 3) * float64(time.Second))
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5 // 2^5 · 2s = 64 s cap
+	}
+	d := base << shift
+	if d > 64*time.Second {
+		d = 64 * time.Second
+	}
+	return d
+}

@@ -1,0 +1,109 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+)
+
+// Window identifies which Class-A receive window a downlink lands in.
+type Window int
+
+// Receive windows.
+const (
+	// WindowNone marks a downlink that could not be scheduled.
+	WindowNone Window = 0
+	// WindowRX1 is the first receive window (uplink channel and data rate).
+	WindowRX1 Window = 1
+	// WindowRX2 is the second receive window (fixed fallback data rate).
+	WindowRX2 Window = 2
+)
+
+// String names the window.
+func (w Window) String() string {
+	switch w {
+	case WindowRX1:
+		return "RX1"
+	case WindowRX2:
+		return "RX2"
+	default:
+		return "none"
+	}
+}
+
+// SchedulerStats counts a scheduler's downlink traffic.
+type SchedulerStats struct {
+	// RX1 and RX2 count downlinks placed in each window.
+	RX1, RX2 uint64
+	// Dropped counts downlinks abandoned because the gateway's duty-cycle
+	// budget (or an already-committed transmission) covered both windows.
+	Dropped uint64
+}
+
+// Scheduler places downlinks into per-gateway transmit schedules under a
+// duty-cycle budget. Gateways transmit on the shared data channel, so the
+// same EU868 duty rules that govern devices govern them: after a downlink of
+// airtime T the gateway stays silent for T/duty − T. A downlink fits RX1 if
+// the gateway is free at the RX1 instant, falls back to RX2 otherwise, and
+// is dropped when neither window is open — the device's retransmission
+// backoff recovers the loss. Not safe for concurrent use.
+type Scheduler struct {
+	duty float64
+	// nextFree[gw] is the earliest instant gateway gw may transmit again.
+	nextFree []time.Duration
+	stats    SchedulerStats
+}
+
+// NewScheduler builds a scheduler for numGateways gateways with the given
+// per-gateway transmit duty fraction (e.g. 0.1 for the EU868 10 % downlink
+// sub-band). Fractions outside (0, 1) disable the budget (back-to-back
+// transmissions only serialise).
+func NewScheduler(numGateways int, duty float64) (*Scheduler, error) {
+	if numGateways <= 0 {
+		return nil, fmt.Errorf("mac: scheduler needs a positive gateway count, got %d", numGateways)
+	}
+	return &Scheduler{duty: duty, nextFree: make([]time.Duration, numGateways)}, nil
+}
+
+// Stats returns the traffic counters so far.
+func (s *Scheduler) Stats() SchedulerStats { return s.stats }
+
+// NextFree returns when gateway gw may transmit again (diagnostic).
+func (s *Scheduler) NextFree(gw int) time.Duration {
+	if gw < 0 || gw >= len(s.nextFree) {
+		return 0
+	}
+	return s.nextFree[gw]
+}
+
+// Schedule commits gateway gw to one downlink for an uplink ending at
+// uplinkEnd: RX1 (opening rx1Delay after the uplink, airtime rx1Air) if the
+// gateway is free then, else RX2 (rx2Delay, rx2Air), else nothing. On
+// success the gateway's duty budget is charged and the chosen window's start
+// instant is returned.
+func (s *Scheduler) Schedule(gw int, uplinkEnd, rx1Delay, rx2Delay, rx1Air, rx2Air time.Duration) (start time.Duration, w Window, ok bool) {
+	if gw < 0 || gw >= len(s.nextFree) {
+		return 0, WindowNone, false
+	}
+	if rx1Start := uplinkEnd + rx1Delay; s.nextFree[gw] <= rx1Start {
+		s.charge(gw, rx1Start, rx1Air)
+		s.stats.RX1++
+		return rx1Start, WindowRX1, true
+	}
+	if rx2Start := uplinkEnd + rx2Delay; s.nextFree[gw] <= rx2Start {
+		s.charge(gw, rx2Start, rx2Air)
+		s.stats.RX2++
+		return rx2Start, WindowRX2, true
+	}
+	s.stats.Dropped++
+	return 0, WindowNone, false
+}
+
+// charge advances the gateway's silent period past a transmission starting
+// at start with the given airtime.
+func (s *Scheduler) charge(gw int, start, airtime time.Duration) {
+	if s.duty > 0 && s.duty < 1 {
+		s.nextFree[gw] = start + time.Duration(float64(airtime)/s.duty)
+		return
+	}
+	s.nextFree[gw] = start + airtime
+}

@@ -1,0 +1,104 @@
+package netserver
+
+import (
+	"time"
+
+	"mlorass/internal/lorawan"
+	"mlorass/internal/mac"
+)
+
+// RxTiming carries the receive-window timing and airtimes the downlink
+// scheduler chooses between: RX1 reuses the uplink data rate, RX2 the fixed
+// fallback rate, so their airtimes differ.
+type RxTiming struct {
+	// RX1Delay and RX2Delay are the window offsets from the uplink's end.
+	RX1Delay, RX2Delay time.Duration
+	// RX1Air and RX2Air are the downlink frame airtimes at each window's
+	// data rate.
+	RX1Air, RX2Air time.Duration
+}
+
+// DownlinkPlan is one scheduled gateway downlink: the ack and/or LinkADRReq
+// answering a decoded uplink, committed to a gateway transmit slot. The
+// simulator places the corresponding transmission on the shared medium.
+type DownlinkPlan struct {
+	// Device and Gateway identify the addressee and the transmitter.
+	Device, Gateway int
+	// Start is the transmission start instant; Window names the receive
+	// window it lands in; AirTime is the frame's on-air duration.
+	Start   time.Duration
+	Window  mac.Window
+	AirTime time.Duration
+	// Ack is set for confirmed-uplink acknowledgements.
+	Ack bool
+	// Cmd is the piggybacked ADR command, valid when HasCmd is set.
+	Cmd    lorawan.LinkADRReq
+	HasCmd bool
+}
+
+// MAC is the network server's MAC-layer control plane: the ADR controller
+// fed by uplink SNR observations and the per-gateway downlink scheduler that
+// answers confirmed uplinks (and pending ADR commands) through the RX1/RX2
+// receive windows. One MAC serves one simulation run, alongside the
+// deduplicating ledger in Server.
+type MAC struct {
+	// ADR is the SNR-margin controller (nil disables rate adaptation:
+	// downlinks then carry acks only).
+	ADR *mac.Controller
+	// Sched is the per-gateway downlink scheduler.
+	Sched *mac.Scheduler
+
+	// Commands counts LinkADRReq commands issued (scheduled on a
+	// downlink); a command lost on air is reissued after later uplinks, so
+	// Commands can exceed the number of distinct setting changes.
+	Commands uint64
+}
+
+// OnUplink runs the network-server MAC reaction to one decoded uplink from
+// dev via gateway gw: record the SNR observation, decide whether an ADR
+// command is due, and — when the uplink was confirmed or a command is
+// pending — schedule the answering downlink on the gateway. It returns the
+// committed plan, or ok=false when no downlink is needed or the gateway's
+// duty budget had no open window (the scheduler counts the drop).
+func (m *MAC) OnUplink(dev, gw int, snrDB float64, cur lorawan.DataRate, curPow int, confirmed bool, uplinkEnd time.Duration, t RxTiming) (DownlinkPlan, bool) {
+	var (
+		cmd    lorawan.LinkADRReq
+		hasCmd bool
+	)
+	if m.ADR != nil {
+		m.ADR.Observe(dev, snrDB)
+		cmd, hasCmd = m.ADR.Decide(dev, cur, curPow)
+	}
+	if !confirmed && !hasCmd {
+		return DownlinkPlan{}, false
+	}
+	rx1Air, rx2Air := t.RX1Air, t.RX2Air
+	start, w, ok := m.Sched.Schedule(gw, uplinkEnd, t.RX1Delay, t.RX2Delay, rx1Air, rx2Air)
+	if !ok {
+		return DownlinkPlan{}, false
+	}
+	if hasCmd {
+		m.Commands++
+	}
+	air := rx1Air
+	if w == mac.WindowRX2 {
+		air = rx2Air
+	}
+	return DownlinkPlan{
+		Device:  dev,
+		Gateway: gw,
+		Start:   start,
+		Window:  w,
+		AirTime: air,
+		Ack:     confirmed,
+		Cmd:     cmd,
+		HasCmd:  hasCmd,
+	}, true
+}
+
+// AttachMAC installs the MAC control plane on the server (nil detaches it).
+func (s *Server) AttachMAC(m *MAC) { s.mac = m }
+
+// MAC returns the attached control plane (nil when the run models the
+// paper's plain uplink-only traffic).
+func (s *Server) MAC() *MAC { return s.mac }

@@ -63,6 +63,9 @@ type Server struct {
 	deliveries []Delivery
 	duplicates uint64
 	obs        Observer
+	// mac is the optional MAC control plane (ADR + downlink scheduling);
+	// nil for the paper's uplink-only traffic model.
+	mac *MAC
 }
 
 // New returns an empty server.

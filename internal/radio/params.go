@@ -57,6 +57,37 @@ func (sf SpreadingFactor) Sensitivity() float64 {
 	}
 }
 
+// RequiredSNR returns the minimum demodulation SNR in dB for this spreading
+// factor (SX1276 datasheet: -7.5 dB at SF7 down to -20 dB at SF12, 2.5 dB
+// per step). It is the floor the ADR margin computation measures against.
+func (sf SpreadingFactor) RequiredSNR() float64 {
+	if !sf.Valid() {
+		return 0
+	}
+	return -7.5 - 2.5*float64(sf-SF7)
+}
+
+// NoiseFigureDB is the receiver noise figure assumed by the SNR conversion
+// (a typical LoRa gateway front end).
+const NoiseFigureDB = 6
+
+// NoiseFloorDBm returns the thermal noise floor for the given bandwidth:
+// -174 dBm/Hz + 10·log10(BW) + noise figure. For the 125 kHz LoRaWAN
+// channel this is ≈ -117 dBm.
+func NoiseFloorDBm(bwHz float64) float64 {
+	if bwHz <= 0 {
+		return 0
+	}
+	return -174 + 10*math.Log10(bwHz) + NoiseFigureDB
+}
+
+// SNRFromRSSI converts a received signal strength to SNR against the
+// bandwidth's noise floor — the quantity the network server's ADR history
+// records per uplink.
+func SNRFromRSSI(rssiDBm, bwHz float64) float64 {
+	return rssiDBm - NoiseFloorDBm(bwHz)
+}
+
 // PHYParams describes one LoRa transmission configuration.
 type PHYParams struct {
 	// SF is the spreading factor.

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mlorass/internal/rng"
+)
+
+// histState canonicalises the order-independent part of a histogram for
+// exact equality checks: the JSON encoding minus the carried sum. Bucket
+// counts, n, min, and max merge exactly in any order — they are what the
+// quantiles read — while the float sum is deterministic for a fixed merge
+// order but may differ in its last ulp across orders (float addition is not
+// associative), so sameSum checks it to relative tolerance instead.
+func histState(t *testing.T, h *Histogram) []byte {
+	t.Helper()
+	c := *h
+	c.sum = 0
+	b, err := c.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// sameSum compares carried sums to floating-point reassociation tolerance.
+func sameSum(a, b *Histogram) bool {
+	d := math.Abs(a.sum - b.sum)
+	scale := math.Max(math.Abs(a.sum), math.Abs(b.sum))
+	return d <= 1e-9*math.Max(scale, 1)
+}
+
+// randomHist draws n observations from a mixture of scales so samples cover
+// underflow, every octave band, and overflow buckets.
+func randomHist(r *rng.Source, n int) *Histogram {
+	h := &Histogram{}
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			h.Add(r.Uniform(0, 1e-3)) // underflow band
+		case 1:
+			h.Add(r.Uniform(0, 10))
+		case 2:
+			h.Add(math.Exp(r.Uniform(0, 14))) // log-spread across octaves
+		default:
+			h.Add(r.Uniform(1e6, 5e6)) // near/beyond the top octave
+		}
+	}
+	return h
+}
+
+// TestHistogramMergeCommutative: a ⊕ b == b ⊕ a, over random histograms
+// including empty ones.
+func TestHistogramMergeCommutative(t *testing.T) {
+	r := rng.New(0xc0441)
+	for trial := 0; trial < 200; trial++ {
+		a := randomHist(r, r.Intn(200))
+		b := randomHist(r, r.Intn(200))
+		ab, ba := *a, *b
+		ab.Merge(b)
+		ba.Merge(a)
+		if !bytes.Equal(histState(t, &ab), histState(t, &ba)) || !sameSum(&ab, &ba) {
+			t.Fatalf("trial %d: a⊕b != b⊕a\n a⊕b %s\n b⊕a %s", trial, ab.String(), ba.String())
+		}
+	}
+}
+
+// TestHistogramMergeAssociative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+func TestHistogramMergeAssociative(t *testing.T) {
+	r := rng.New(0xa550c)
+	for trial := 0; trial < 200; trial++ {
+		a := randomHist(r, r.Intn(150))
+		b := randomHist(r, r.Intn(150))
+		c := randomHist(r, r.Intn(150))
+
+		left := *a
+		left.Merge(b)
+		left.Merge(c)
+
+		bc := *b
+		bc.Merge(c)
+		right := *a
+		right.Merge(&bc)
+
+		if !bytes.Equal(histState(t, &left), histState(t, &right)) || !sameSum(&left, &right) {
+			t.Fatalf("trial %d: (a⊕b)⊕c != a⊕(b⊕c)\n left %s\n right %s", trial, left.String(), right.String())
+		}
+	}
+}
+
+// TestHistogramMergeIdentity: merging an empty histogram (either side) is a
+// no-op; min/max survive the empty-side special cases.
+func TestHistogramMergeIdentity(t *testing.T) {
+	r := rng.New(0x1d)
+	for trial := 0; trial < 50; trial++ {
+		a := randomHist(r, 1+r.Intn(100))
+		var empty Histogram
+
+		withEmpty := *a
+		withEmpty.Merge(&empty)
+		if !bytes.Equal(histState(t, a), histState(t, &withEmpty)) {
+			t.Fatal("a ⊕ 0 != a")
+		}
+		ontoEmpty := Histogram{}
+		ontoEmpty.Merge(a)
+		if !bytes.Equal(histState(t, a), histState(t, &ontoEmpty)) {
+			t.Fatal("0 ⊕ a != a")
+		}
+		ontoNil := *a
+		ontoNil.Merge(nil)
+		if !bytes.Equal(histState(t, a), histState(t, &ontoNil)) {
+			t.Fatal("a ⊕ nil != a")
+		}
+	}
+}
+
+// TestHistogramMergeThenQuantileEqualsPooled is the replication-exactness
+// property the telemetry layer's percentile tables rest on: recording a
+// population shard-by-shard and merging the shards yields bit-identical
+// quantiles (and moments) to recording every observation into one histogram.
+func TestHistogramMergeThenQuantileEqualsPooled(t *testing.T) {
+	r := rng.New(0x900fed)
+	quantiles := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+	for trial := 0; trial < 100; trial++ {
+		shards := 2 + r.Intn(6)
+		var merged Histogram
+		var pooled Histogram
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			parts[i] = &Histogram{}
+		}
+		n := 50 + r.Intn(500)
+		for i := 0; i < n; i++ {
+			var v float64
+			switch r.Intn(3) {
+			case 0:
+				v = r.Uniform(0, 1e-3)
+			case 1:
+				v = math.Exp(r.Uniform(-5, 16))
+			default:
+				v = r.Uniform(0, 5e6)
+			}
+			pooled.Add(v)
+			parts[r.Intn(shards)].Add(v)
+		}
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if !bytes.Equal(histState(t, &merged), histState(t, &pooled)) || !sameSum(&merged, &pooled) {
+			t.Fatalf("trial %d: merged state differs from pooled state", trial)
+		}
+		for _, q := range quantiles {
+			mq, pq := merged.Quantile(q), pooled.Quantile(q)
+			if mq != pq || math.IsNaN(mq) {
+				t.Fatalf("trial %d: q=%v merged %v != pooled %v", trial, q, mq, pq)
+			}
+		}
+		if merged.N() != pooled.N() ||
+			merged.Min() != pooled.Min() || merged.Max() != pooled.Max() {
+			t.Fatalf("trial %d: merged moments differ from pooled", trial)
+		}
+	}
+}
+
+func TestSFCounts(t *testing.T) {
+	var a, b SFCounts
+	a.Add(7)
+	a.Add(7)
+	a.Add(12)
+	b.Add(9)
+	b.Add(13) // ignored
+	b.Add(6)  // ignored
+	if a.Total() != 3 || b.Total() != 1 {
+		t.Fatalf("totals %d/%d, want 3/1", a.Total(), b.Total())
+	}
+	a.Merge(b)
+	if a.Total() != 4 || a[0] != 2 || a[2] != 1 || a[5] != 1 {
+		t.Fatalf("merged counts %v", a)
+	}
+	want := (7.0 + 7 + 12 + 9) / 4
+	if got := a.MeanSF(); got != want {
+		t.Fatalf("MeanSF = %v, want %v", got, want)
+	}
+	var empty SFCounts
+	if empty.MeanSF() != 0 {
+		t.Fatal("empty MeanSF must be 0")
+	}
+}

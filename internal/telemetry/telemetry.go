@@ -36,6 +36,25 @@ type Counters struct {
 	KernelEvents uint64
 	// TraceEvents counts trace records emitted to the sink.
 	TraceEvents uint64
+
+	// MAC-subsystem tallies (all zero when Config.MAC is zero-valued).
+
+	// Downlinks counts gateway downlink frames put on the air.
+	Downlinks uint64
+	// DownlinkDeliveries counts downlinks decoded by their device.
+	DownlinkDeliveries uint64
+	// DownlinkDrops counts downlinks the per-gateway duty budget could not
+	// place in either receive window.
+	DownlinkDrops uint64
+	// AckTimeouts counts confirmed uplinks whose ack window closed unacked.
+	AckTimeouts uint64
+	// Retransmissions counts confirmed-uplink retransmissions after an ack
+	// timeout.
+	Retransmissions uint64
+	// ADRCommands counts LinkADRReq commands the network server issued.
+	ADRCommands uint64
+	// ADRApplied counts LinkADRReq commands devices received and applied.
+	ADRApplied uint64
 }
 
 // Merge adds other's tallies into c.
@@ -49,6 +68,56 @@ func (c *Counters) Merge(other Counters) {
 	c.QueueDrops += other.QueueDrops
 	c.KernelEvents += other.KernelEvents
 	c.TraceEvents += other.TraceEvents
+	c.Downlinks += other.Downlinks
+	c.DownlinkDeliveries += other.DownlinkDeliveries
+	c.DownlinkDrops += other.DownlinkDrops
+	c.AckTimeouts += other.AckTimeouts
+	c.Retransmissions += other.Retransmissions
+	c.ADRCommands += other.ADRCommands
+	c.ADRApplied += other.ADRApplied
+}
+
+// SFCounts tallies uplink frames per spreading factor: index 0 is SF7, index
+// 5 is SF12. It is the coarse "where did ADR move the network" histogram —
+// exact under merge like every fixed-layout counter.
+type SFCounts [6]uint64
+
+// Add counts one uplink frame at the given spreading factor (7..12);
+// out-of-range values are ignored.
+func (s *SFCounts) Add(sf int) {
+	if sf < 7 || sf > 12 {
+		return
+	}
+	s[sf-7]++
+}
+
+// Merge folds other into s.
+func (s *SFCounts) Merge(other SFCounts) {
+	for i, c := range other {
+		s[i] += c
+	}
+}
+
+// Total returns the number of counted frames.
+func (s SFCounts) Total() uint64 {
+	var t uint64
+	for _, c := range s {
+		t += c
+	}
+	return t
+}
+
+// MeanSF returns the frame-weighted mean spreading factor (0 when empty).
+func (s SFCounts) MeanSF() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	var sum uint64
+	for i, c := range s {
+		sum += uint64(i+7) * c
+	}
+	return float64(sum) / float64(t)
 }
 
 // Recorder accumulates one run's metrics. A nil *Recorder is a valid no-op
@@ -61,6 +130,8 @@ type Recorder struct {
 	delay Histogram
 	// airtime buckets transmitted frames' time-on-air in seconds.
 	airtime Histogram
+	// sf tallies uplink frames per spreading factor.
+	sf SFCounts
 }
 
 // NewRecorder returns an empty recorder.
@@ -133,6 +204,49 @@ func (r *Recorder) AddTraceEvent() {
 	}
 }
 
+// AddDownlink counts one gateway downlink frame transmitted.
+func (r *Recorder) AddDownlink() {
+	if r != nil {
+		r.counters.Downlinks++
+	}
+}
+
+// AddDownlinkDelivery counts one downlink decoded by its device.
+func (r *Recorder) AddDownlinkDelivery() {
+	if r != nil {
+		r.counters.DownlinkDeliveries++
+	}
+}
+
+// AddAckTimeout counts one confirmed uplink whose ack never arrived.
+func (r *Recorder) AddAckTimeout() {
+	if r != nil {
+		r.counters.AckTimeouts++
+	}
+}
+
+// AddRetransmission counts one confirmed-uplink retransmission.
+func (r *Recorder) AddRetransmission() {
+	if r != nil {
+		r.counters.Retransmissions++
+	}
+}
+
+// AddADRApplied counts one LinkADRReq received and applied by a device.
+func (r *Recorder) AddADRApplied() {
+	if r != nil {
+		r.counters.ADRApplied++
+	}
+}
+
+// AddUplinkSF counts one uplink frame transmitted at the given spreading
+// factor (7..12).
+func (r *Recorder) AddUplinkSF(sf int) {
+	if r != nil {
+		r.sf.Add(sf)
+	}
+}
+
 // ObserveDelay records one delivered message's end-to-end delay in seconds.
 func (r *Recorder) ObserveDelay(seconds float64) {
 	if r == nil {
@@ -154,15 +268,19 @@ func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	return Snapshot{Counters: r.counters, Delay: r.delay, Airtime: r.airtime}
+	return Snapshot{Counters: r.counters, Delay: r.delay, Airtime: r.airtime, SF: r.sf}
 }
 
 // Snapshot is one run's immutable telemetry: counters plus the delay and
-// airtime histograms. Snapshots from replicated runs merge exactly.
+// airtime histograms and the uplink SF distribution. Snapshots from
+// replicated runs merge exactly.
 type Snapshot struct {
 	Counters Counters  `json:"counters"`
 	Delay    Histogram `json:"delay"`
 	Airtime  Histogram `json:"airtime"`
+	// SF is the uplink spreading-factor distribution (all frames land on
+	// the configured SF when ADR is off).
+	SF SFCounts `json:"sf_uplinks"`
 }
 
 // Merge folds other into s (exact: see Histogram.Merge).
@@ -170,4 +288,5 @@ func (s *Snapshot) Merge(other Snapshot) {
 	s.Counters.Merge(other.Counters)
 	s.Delay.Merge(&other.Delay)
 	s.Airtime.Merge(&other.Airtime)
+	s.SF.Merge(other.SF)
 }

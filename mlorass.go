@@ -232,6 +232,31 @@ func OutageSweep(base Config, env Environment, workers int, progress func(string
 // fraction of gateways down grows.
 func OutageTable(points []OutagePoint) string { return experiment.OutageTable(points) }
 
+// MACConfig parameterises the adaptive-data-rate and confirmed-traffic
+// subsystem (Config.MAC). The zero value is the paper's uplink-only model,
+// byte-identical to a simulator without the MAC control plane.
+type MACConfig = experiment.MACConfig
+
+// ADRMode is one column of the ADR sweep (fixed-SF, ADR, ADR+confirmed);
+// ADRPoint is one of its (mode, gateway-count) cells.
+type (
+	ADRMode  = experiment.ADRMode
+	ADRPoint = experiment.ADRPoint
+)
+
+// ADRModes lists the ADR sweep's MAC configurations in column order.
+func ADRModes() []ADRMode { return experiment.ADRModes() }
+
+// ADRSweep runs the adaptive-data-rate grid (every MAC mode × gateway
+// count) across a worker pool; workers < 1 means GOMAXPROCS.
+func ADRSweep(base Config, env Environment, workers int, progress func(string)) ([]ADRPoint, error) {
+	return experiment.ADRSweep(base, env, workers, progress)
+}
+
+// ADRTable renders the ADR sweep: delivery ratio, mean uplink SF, and
+// retransmissions per MAC mode as gateway density grows.
+func ADRTable(points []ADRPoint) string { return experiment.ADRTable(points) }
+
 // Fig8Table, Fig9Table, Fig12Table and Fig13Table render sweep results as
 // the corresponding paper tables.
 func Fig8Table(points []SweepPoint) string  { return experiment.Fig8Table(points) }
