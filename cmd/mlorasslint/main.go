@@ -1,0 +1,132 @@
+// Command mlorasslint runs the repo's static-analysis suite (internal/
+// analysis) over the module: detlint (simulation determinism), hotpathlint
+// (zero-alloc //mlorass:hotpath functions) and unitlint (radio-unit safety).
+//
+// Usage:
+//
+//	go run ./cmd/mlorasslint ./...
+//	go run ./cmd/mlorasslint ./internal/radio ./internal/mac
+//
+// Findings print as file:line:col: analyzer: message, one per line, sorted by
+// position. The exit status is 0 when the tree is clean, 1 when findings
+// remain, 2 on usage or load errors. Suppress an individual finding in source
+// with "//lint:ignore <analyzer> <reason>" on the same line or the line
+// above; the reason is mandatory, and a stale directive is itself a finding.
+//
+// The linter is stdlib-only (go/parser + go/types + the source importer) and
+// runs offline: it needs the Go toolchain's GOROOT sources and nothing else.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mlorass/internal/analysis"
+)
+
+// Analyzers is the suite the driver runs, in output order.
+var Analyzers = []*analysis.Analyzer{
+	analysis.DetLint,
+	analysis.HotPathLint,
+	analysis.UnitLint,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "mlorasslint:", err)
+		return 2
+	}
+	module, root, err := analysis.ModuleInfo(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "mlorasslint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(module, root)
+
+	var pkgs []*analysis.Package
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == module+"/...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(stderr, "mlorasslint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			path, err := resolveArg(module, root, cwd, arg)
+			if err != nil {
+				fmt.Fprintln(stderr, "mlorasslint:", err)
+				return 2
+			}
+			pkg, err := loader.Load(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "mlorasslint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	findings := 0
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		if seen[pkg.Path] {
+			continue
+		}
+		seen[pkg.Path] = true
+		diags, err := analysis.RunAnalyzers(pkg, Analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "mlorasslint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "mlorasslint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// resolveArg turns a command-line package argument — an import path or a
+// (relative) directory — into a module import path.
+func resolveArg(module, root, cwd, arg string) (string, error) {
+	if arg == module || strings.HasPrefix(arg, module+"/") {
+		return arg, nil
+	}
+	dir := arg
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(cwd, dir)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("package %q is outside module %s", arg, module)
+	}
+	if rel == "." {
+		return module, nil
+	}
+	return module + "/" + filepath.ToSlash(rel), nil
+}
+
+func usage(w *os.File) {
+	fmt.Fprintln(w, "usage: mlorasslint <packages>   (e.g. mlorasslint ./...)")
+	fmt.Fprintln(w, "analyzers:")
+	for _, a := range Analyzers {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the driver with stdout/stderr redirected to temp files and
+// returns the exit code plus both streams.
+func capture(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	read := func(f *os.File) string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	return code, read(outF), read(errF)
+}
+
+func TestRunNoArgsUsage(t *testing.T) {
+	code, _, stderr := capture(t, nil)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") || !strings.Contains(stderr, "detlint") {
+		t.Fatalf("usage text missing analyzers:\n%s", stderr)
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	code, stdout, stderr := capture(t, []string{"./../../internal/lorawan"})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean package produced output:\n%s", stdout)
+	}
+}
+
+func TestRunOutsideModule(t *testing.T) {
+	code, _, stderr := capture(t, []string{"../../../elsewhere"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "outside module") {
+		t.Fatalf("stderr = %q, want outside-module error", stderr)
+	}
+}
+
+// TestRunFailsOnViolation is the CI contract: introducing a determinism
+// violation into a simulation package makes the driver exit 1 and name the
+// finding. The violating module is synthesised in a temp dir so the real
+// tree stays clean.
+func TestRunFailsOnViolation(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixmod\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "eventsim")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package eventsim
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(root)
+	code, stdout, stderr := capture(t, []string{"./..."})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "detlint") || !strings.Contains(stdout, "time.Now") {
+		t.Fatalf("finding not reported:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Fatalf("summary missing:\n%s", stderr)
+	}
+}

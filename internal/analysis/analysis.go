@@ -1,0 +1,229 @@
+// Package analysis is mlorass's in-tree static-analysis framework: a small,
+// stdlib-only (go/parser + go/types) analogue of golang.org/x/tools/go/analysis
+// that powers cmd/mlorasslint. Three repo-specific analyzers run over every
+// package of the module:
+//
+//   - detlint      — determinism: no wall clock, no global math/rand, no
+//     map-iteration-ordered results, no multi-way selects in simulation
+//     packages (the event kernel must replay byte-identically from a seed).
+//   - hotpathlint  — zero-alloc hot paths: functions annotated with a
+//     //mlorass:hotpath directive must not introduce allocation constructs
+//     (the PR 4 steady-state-zero-allocation contract, enforced at the
+//     source level instead of only by runtime alloc-invariant tests).
+//   - unitlint     — radio-unit safety: dBm/dB/metre/hertz quantities use
+//     the named types in internal/radio and never mix through raw float64
+//     arithmetic or direct unit-to-unit conversions.
+//
+// A finding is suppressed with an in-source directive on the same line or the
+// line directly above:
+//
+//	//lint:ignore detlint,hotpathlint <reason>
+//
+// The reason is mandatory; a reasonless directive is itself reported. The
+// framework deliberately avoids x/tools so the linter builds and runs offline
+// with nothing beyond the Go toolchain already in the module's build
+// environment.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in lint:ignore directives.
+	Name string
+	// Doc is the one-line description shown by the driver's usage text.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, in deterministic
+	// (sorted filename) order.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds expression types, object definitions and uses.
+	TypesInfo *types.Info
+
+	analyzer string
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a concrete source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool
+	hasReason bool
+	pos       token.Position
+	used      bool
+}
+
+// RunAnalyzers executes every analyzer over pkg and returns the surviving
+// diagnostics: findings cancelled by a lint:ignore directive (same line or
+// the line above) are dropped, reasonless or unused directives are reported
+// under the "mlorasslint" pseudo-analyzer, and the result is sorted by
+// position for stable output.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			analyzer:  a.Name,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = applyIgnores(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// applyIgnores filters diags through the package's lint:ignore directives.
+// A directive at line L cancels matching findings at L (trailing comment) and
+// L+1 (comment above the flagged line).
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file -> line -> directives at that line.
+	dirs := map[string]map[int][]*ignoreDirective{}
+	var all []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				d.pos = pkg.Fset.Position(c.Pos())
+				byLine := dirs[d.pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*ignoreDirective{}
+					dirs[d.pos.Filename] = byLine
+				}
+				byLine[d.pos.Line] = append(byLine[d.pos.Line], d)
+				all = append(all, d)
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range dirs[d.Pos.Filename][line] {
+				if dir.analyzers[d.Analyzer] && dir.hasReason {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range all {
+		switch {
+		case !dir.hasReason:
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "mlorasslint",
+				Message:  "lint:ignore directive is missing a reason",
+			})
+		case !dir.used:
+			// An ignore that cancels nothing is stale: the code it excused
+			// was fixed, or the analyzer list is misspelt.
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "mlorasslint",
+				Message:  "lint:ignore directive matches no finding; remove it",
+			})
+		}
+	}
+	return kept
+}
+
+// parseIgnore recognises "//lint:ignore <a1,a2> <reason>".
+func parseIgnore(text string) (*ignoreDirective, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	name, reason, _ := strings.Cut(rest, " ")
+	d := &ignoreDirective{analyzers: map[string]bool{}, hasReason: strings.TrimSpace(reason) != ""}
+	for _, a := range strings.Split(name, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			d.analyzers[a] = true
+		}
+	}
+	return d, len(d.analyzers) > 0
+}
+
+// pkgNameOf resolves the package an identifier refers to when it names an
+// import, e.g. the "time" in time.Now. It returns nil for non-package idents.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	if obj, ok := info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
+// selectorPkgPath returns the import path of the package qualifying a
+// selector expression (e.g. "time" for time.Now), or "" when the selector is
+// not package-qualified.
+func selectorPkgPath(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn := pkgNameOf(info, id); pn != nil {
+		return pn.Imported().Path()
+	}
+	return ""
+}

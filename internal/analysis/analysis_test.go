@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted regular expressions of one "// want" comment.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// patRe extracts the individual quoted patterns from a want comment's tail.
+var patRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one unmatched want annotation.
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// loadExpectations parses the // want annotations of every fixture file.
+func loadExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []*expectation
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(pm[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, pm[1], err)
+				}
+				exps = append(exps, &expectation{line: i + 1, re: re, raw: pm[1]})
+			}
+		}
+	}
+	if len(exps) == 0 {
+		t.Fatalf("fixture %s has no want annotations", dir)
+	}
+	return exps
+}
+
+// runFixture loads testdata/src/<name>, runs the analyzers, and matches the
+// diagnostics against the fixture's want annotations: every diagnostic must
+// be wanted and every want must fire.
+func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	exps := loadExpectations(t, dir)
+	for _, d := range diags {
+		matched := false
+		for _, e := range exps {
+			if e.re == nil || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range exps {
+		if e.re != nil {
+			t.Errorf("line %d: wanted %q, no diagnostic fired", e.line, e.raw)
+		}
+	}
+}
+
+func TestDetLintFixture(t *testing.T) {
+	runFixture(t, "detfix", []*Analyzer{DetLint})
+}
+
+func TestHotPathLintFixture(t *testing.T) {
+	runFixture(t, "hotfix", []*Analyzer{HotPathLint})
+}
+
+func TestUnitLintFixture(t *testing.T) {
+	runFixture(t, "unitfix", []*Analyzer{UnitLint})
+}
+
+// TestDetLintScopedByPackage proves the determinism rules stay out of
+// non-simulation packages: the same violations in a package named outside
+// the simulation set produce no findings.
+func TestDetLintScopedByPackage(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "scopedfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{DetLint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding outside simulation scope: %s", d)
+	}
+}
+
+// TestIgnoreDirectives pins the suppression semantics on the ignorefix
+// fixture: same-line and line-above directives cancel, a reasonless
+// directive is reported and cancels nothing, and a directive matching no
+// finding is reported as stale.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "ignorefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{DetLint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		line     int
+		analyzer string
+		msg      string
+	}{
+		{28, "mlorasslint", "missing a reason"},
+		{29, "detlint", "time.Now reads the wall clock"},
+		{34, "mlorasslint", "matches no finding"},
+		{41, "mlorasslint", "matches no finding"},
+		{42, "detlint", "time.Now reads the wall clock"},
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d %s %s", d.Pos.Line, d.Analyzer, d.Message))
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Pos.Line != w.line || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.msg) {
+			t.Errorf("diagnostic %d = %s, want line %d %s %q", i, got[i], w.line, w.analyzer, w.msg)
+		}
+	}
+}
+
+// TestParseIgnore pins the directive grammar.
+func TestParseIgnore(t *testing.T) {
+	tests := []struct {
+		text      string
+		ok        bool
+		analyzers []string
+		hasReason bool
+	}{
+		{"//lint:ignore detlint the reason", true, []string{"detlint"}, true},
+		{"//lint:ignore detlint,unitlint shared reason", true, []string{"detlint", "unitlint"}, true},
+		{"//lint:ignore detlint", true, []string{"detlint"}, false},
+		{"// just a comment", false, nil, false},
+		{"//lint:ignorenope x", false, nil, false},
+	}
+	for _, tt := range tests {
+		d, ok := parseIgnore(tt.text)
+		if ok != tt.ok {
+			t.Errorf("parseIgnore(%q) ok = %v, want %v", tt.text, ok, tt.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.hasReason != tt.hasReason {
+			t.Errorf("parseIgnore(%q) hasReason = %v, want %v", tt.text, d.hasReason, tt.hasReason)
+		}
+		for _, a := range tt.analyzers {
+			if !d.analyzers[a] {
+				t.Errorf("parseIgnore(%q) misses analyzer %q", tt.text, a)
+			}
+		}
+	}
+}
+
+// TestRepoIsLintClean runs the full suite over the whole module: the tree
+// must stay clean, and every committed lint:ignore must still be load-
+// bearing (a stale one is itself a finding). This is the test-suite twin of
+// the CI lint job.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	module, root, err := ModuleInfo(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(module, root)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("LoadAll found only %d packages; the walk is broken", len(pkgs))
+	}
+	all := []*Analyzer{DetLint, HotPathLint, UnitLint}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestLoadAllSkipsFixtures makes sure the module walk never descends into
+// testdata: the seeded-violation corpus must not contaminate repo-wide runs.
+func TestLoadAllSkipsFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	module, root, err := ModuleInfo(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(module, root).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") {
+			t.Errorf("LoadAll descended into %s", p.Dir)
+		}
+	}
+}
+
+// TestModuleInfo resolves this repo's module from a subdirectory.
+func TestModuleInfo(t *testing.T) {
+	module, root, err := ModuleInfo(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if module != "mlorass" {
+		t.Fatalf("module = %q, want mlorass", module)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("root %s has no go.mod: %v", root, err)
+	}
+}

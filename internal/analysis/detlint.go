@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simPackages names the packages whose code runs inside a simulation: here a
+// run must replay byte-identically from its seed, so wall-clock reads, the
+// global math/rand stream, map-iteration-ordered results and multi-way channel
+// selects are all forbidden. Scoping is by package name (not import path) so
+// the fixture corpus can exercise the analyzer with self-contained packages.
+var simPackages = map[string]bool{
+	"eventsim":   true,
+	"experiment": true,
+	"mobility":   true,
+	"radio":      true,
+	"mac":        true,
+	"netserver":  true,
+	"disruption": true,
+	"telemetry":  true,
+}
+
+// DetLint flags nondeterminism sources in simulation packages.
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid wall-clock, global math/rand, map-ordered results and multi-way selects in simulation packages",
+	Run:  runDetLint,
+}
+
+func runDetLint(p *Pass) error {
+	if !simPackages[p.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				switch selectorPkgPath(p.TypesInfo, n) {
+				case "time":
+					if n.Sel.Name == "Now" || n.Sel.Name == "Since" || n.Sel.Name == "Until" {
+						p.Reportf(n.Pos(), "time.%s reads the wall clock; simulation time is the event queue's clock", n.Sel.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					p.Reportf(n.Pos(), "math/rand is not seed-reproducible across runs; use internal/rng")
+				}
+			case *ast.RangeStmt:
+				checkMapRange(p, f, n)
+			case *ast.SelectStmt:
+				if commCases(n) > 1 {
+					p.Reportf(n.Pos(), "select over multiple channels resolves in runtime-chosen order; simulation control flow must be single-channel")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags loops that iterate a map and append into a slice
+// declared outside the loop: the slice then carries the runtime's random
+// iteration order into simulation results. Reading a map by key, ranging to
+// fold into an order-insensitive aggregate, or sorting the collected slice
+// afterwards (the canonical sorted-keys idiom) is fine.
+func checkMapRange(p *Pass, file *ast.File, loop *ast.RangeStmt) {
+	t := p.TypesInfo.TypeOf(loop.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(p.TypesInfo, call.Fun, "append") {
+				continue
+			}
+			if i >= len(asg.Lhs) {
+				continue
+			}
+			id, ok := asg.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.TypesInfo.ObjectOf(id)
+			// Appending to a slice that outlives the loop bakes in map order;
+			// a slice (re)declared inside the body does not escape it, and a
+			// slice sorted after the loop sheds the order again.
+			if obj != nil && obj.Pos() < loop.Pos() && !sortedAfter(p, file, loop, obj) {
+				p.Reportf(asg.Pos(), "append inside range over map records the map's random iteration order in %q; sort it or iterate sorted keys", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices call after
+// the loop ends — the collect-then-sort idiom that launders map order back
+// into a deterministic sequence.
+func sortedAfter(p *Pass, file *ast.File, loop *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= loop.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch selectorPkgPath(p.TypesInfo, sel) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && p.TypesInfo.ObjectOf(id) == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// commCases counts a select statement's non-default communication clauses.
+func commCases(sel *ast.SelectStmt) int {
+	n := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// isBuiltin reports whether fun denotes the named builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.ObjectOf(id).(*types.Builtin)
+	return ok
+}

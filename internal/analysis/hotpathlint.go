@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathMarker is the directive comment that puts a function under
+// hotpathlint's zero-allocation contract. It rides in the function's doc
+// comment:
+//
+//	//mlorass:hotpath
+//	func (s *Sim) tick(now time.Duration) { ... }
+const HotPathMarker = "//mlorass:hotpath"
+
+// HotPathLint enforces the steady-state zero-allocation contract on functions
+// carrying the //mlorass:hotpath directive: no make/new, no map literals, no
+// escaping (address-taken) composite literals, no appends that grow anything
+// but caller-owned or receiver-owned storage, no closures, no fmt or
+// errors.New calls, no conversions to interface types. Amortised or cold-path
+// allocations inside a hot function are excused case by case with a
+// lint:ignore directive carrying the reason.
+var HotPathLint = &Analyzer{
+	Name: "hotpathlint",
+	Doc:  "forbid allocation constructs in functions annotated //mlorass:hotpath",
+	Run:  runHotPathLint,
+}
+
+func runHotPathLint(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			checkHotFunc(p, fn)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the function's doc comment carries the marker.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == HotPathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc walks one annotated function. Allocation-free idioms the hot
+// paths rely on stay legal: struct values (no address taken), appends rooted
+// at parameters or receiver fields (the caller or the object owns the
+// backing array), and locals re-sliced from those roots (kept := s.heap[:0]).
+func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
+	roots := map[types.Object]bool{}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			for _, n := range f.Names {
+				roots[p.TypesInfo.ObjectOf(n)] = true
+			}
+		}
+	}
+	for _, f := range fn.Type.Params.List {
+		for _, n := range f.Names {
+			roots[p.TypesInfo.ObjectOf(n)] = true
+		}
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Track locals that alias caller/receiver storage before the
+			// RHS is inspected, so `kept = append(kept, x)` after
+			// `kept := s.heap[:0]` is recognised as rooted.
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if rootedExpr(p.TypesInfo, roots, n.Rhs[i]) {
+					roots[p.TypesInfo.ObjectOf(id)] = true
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, roots, n)
+		case *ast.CompositeLit:
+			if _, ok := p.TypesInfo.TypeOf(n).Underlying().(*types.Map); ok {
+				p.Reportf(n.Pos(), "map literal allocates; hot paths use preallocated tables")
+			}
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				p.Reportf(cl.Pos(), "&composite literal escapes to the heap; reuse pooled or preallocated objects")
+			}
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure allocates at call time; hoist it to a method or package function")
+			return false // the closure body is not the hot path's own code
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// checkHotCall flags allocating calls: make, new, append off non-owned
+// storage, fmt helpers and errors.New.
+func checkHotCall(p *Pass, roots map[types.Object]bool, call *ast.CallExpr) {
+	switch {
+	case isBuiltin(p.TypesInfo, call.Fun, "make"):
+		p.Reportf(call.Pos(), "make allocates; hot paths reuse buffers sized at setup")
+	case isBuiltin(p.TypesInfo, call.Fun, "new"):
+		p.Reportf(call.Pos(), "new allocates; hot paths reuse pooled objects")
+	case isBuiltin(p.TypesInfo, call.Fun, "append"):
+		if len(call.Args) > 0 && !rootedExpr(p.TypesInfo, roots, call.Args[0]) {
+			p.Reportf(call.Pos(), "append may grow storage the caller does not own; append only to parameters or receiver fields")
+		}
+	default:
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch pkg := selectorPkgPath(p.TypesInfo, sel); {
+			case pkg == "fmt":
+				p.Reportf(call.Pos(), "fmt.%s boxes its operands and allocates; format off the hot path", sel.Sel.Name)
+			case pkg == "errors" && sel.Sel.Name == "New":
+				p.Reportf(call.Pos(), "errors.New allocates; predeclare sentinel errors")
+			}
+		}
+		checkInterfaceConv(p, call)
+	}
+}
+
+// checkInterfaceConv flags explicit conversions of concrete values to
+// interface types — the boxing allocation hiding in plain sight. Implicit
+// boxing through fmt's variadics is already covered by the fmt rule.
+func checkInterfaceConv(p *Pass, call *ast.CallExpr) {
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	if !types.IsInterface(tv.Type) {
+		return
+	}
+	argT := p.TypesInfo.TypeOf(call.Args[0])
+	if argT == nil || types.IsInterface(argT) {
+		return
+	}
+	p.Reportf(call.Pos(), "conversion to interface type %s boxes the value; keep hot-path data concrete", tv.Type)
+}
+
+// rootedExpr reports whether expr ultimately derives from a root object
+// (parameter, receiver, or a local already proven rooted): selections,
+// indexing and re-slicing preserve rootedness, anything else does not.
+func rootedExpr(info *types.Info, roots map[types.Object]bool, expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return roots[info.ObjectOf(e)]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

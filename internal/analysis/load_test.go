@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule materialises a synthetic two-package module for loader tests:
+// a root package importing a subpackage, a testdata dir that must be
+// skipped, and an empty dir that yields no package.
+func writeModule(t *testing.T) (root string) {
+	t.Helper()
+	root = t.TempDir()
+	files := map[string]string{
+		"go.mod":              "module synth\n\ngo 1.24\n",
+		"synth.go":            "package synth\n\nimport \"synth/inner\"\n\n// Answer returns the inner constant.\nfunc Answer() int { return inner.N }\n",
+		"inner/inner.go":      "package inner\n\n// N is the answer.\nconst N = 42\n",
+		"testdata/ignored.go": "package broken_on_purpose\n\nfunc bad() { undefined() }\n",
+		"empty/README":        "no Go files here\n",
+	}
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoaderLoadsModulePackages(t *testing.T) {
+	root := writeModule(t)
+	l := NewLoader("synth", root)
+	pkg, err := l.Load("synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "synth" {
+		t.Fatalf("package name = %q", pkg.Types.Name())
+	}
+	// The root import pulled in synth/inner through ImportFrom; loading it
+	// again must hit the memo, not re-check.
+	inner1, err := l.Load("synth/inner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner2, err := l.Load("synth/inner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner1 != inner2 {
+		t.Fatal("Load is not memoised")
+	}
+}
+
+func TestLoaderLoadAllSkipsTestdataAndEmptyDirs(t *testing.T) {
+	root := writeModule(t)
+	pkgs, err := NewLoader("synth", root).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(paths) != 2 || paths[0] != "synth" || paths[1] != "synth/inner" {
+		t.Fatalf("LoadAll = %v, want [synth synth/inner]", paths)
+	}
+}
+
+func TestLoaderRejectsUnknownPackage(t *testing.T) {
+	root := writeModule(t)
+	if _, err := NewLoader("synth", root).Load("synth/missing"); err == nil {
+		t.Fatal("loading a nonexistent package succeeded")
+	}
+}
+
+func TestModuleInfoErrorsOutsideModules(t *testing.T) {
+	// A temp dir has no go.mod anywhere above it (t.TempDir lives under
+	// the system temp root).
+	if _, _, err := ModuleInfo(t.TempDir()); err == nil {
+		t.Skip("a go.mod exists above the temp root on this machine")
+	}
+}

@@ -1,0 +1,72 @@
+// Package eventsim is a detlint fixture: its name puts it in the analyzer's
+// simulation scope, and each seeded violation carries a want annotation the
+// golden test matches diagnostics against.
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock inside a simulation package.
+func Stamp() time.Duration {
+	t := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(t) // want "time.Since reads the wall clock"
+}
+
+// Jitter draws from the global math/rand stream.
+func Jitter() float64 {
+	return rand.Float64() // want "math/rand is not seed-reproducible"
+}
+
+// CollectBad bakes map iteration order into its result slice.
+func CollectBad(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want "append inside range over map"
+	}
+	return out
+}
+
+// CollectGood collects keys and sorts them before use — the canonical idiom
+// detlint recognises as deterministic.
+func CollectGood(m map[int]float64) []float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Fold aggregates order-insensitively; no slice outlives the loop.
+func Fold(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Race selects across two channels.
+func Race(a, b <-chan int) int {
+	select { // want "select over multiple channels"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// WaitOne blocks on a single channel: deterministic, unflagged.
+func WaitOne(a <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}

@@ -1,0 +1,80 @@
+// Package hotfix is a hotpathlint fixture: Bad seeds one violation per rule,
+// Good exercises every allocation-free idiom the analyzer must keep legal,
+// and Cold shows that unannotated functions are out of scope.
+package hotfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ring is a preallocated buffer a hot path may grow.
+type Ring struct {
+	buf  []int
+	tags map[int]string
+}
+
+// Stringer boxes values passed to it.
+type Stringer interface{ String() string }
+
+// ID is a concrete value a bad hot path boxes into an interface.
+type ID int
+
+func (i ID) String() string { return "id" }
+
+// Bad violates every hotpathlint rule once.
+//
+//mlorass:hotpath
+func (r *Ring) Bad(n int) (int, error) {
+	scratch := make([]int, n) // want "make allocates"
+	p := new(int)             // want "new allocates"
+	m := map[int]int{n: n}    // want "map literal allocates"
+	q := &Ring{}              // want "escapes to the heap"
+	var out []int
+	out = append(out, n)               // want "append only to parameters or receiver fields"
+	f := func() int { return n }       // want "closure allocates"
+	s := fmt.Sprintf("%d", n)          // want "boxes its operands and allocates"
+	err := errors.New(s)               // want "errors.New allocates"
+	var box Stringer = Stringer(ID(n)) // want "boxes the value"
+	_ = box
+	return len(scratch) + *p + m[n] + len(q.buf) + out[0] + f(), err
+}
+
+// Good uses only the allocation-free idioms: appends rooted at the receiver
+// or parameters, locals re-sliced from receiver storage, and plain struct
+// values.
+//
+//mlorass:hotpath
+func (r *Ring) Good(extra []int, v int) int {
+	r.buf = append(r.buf, v)
+	extra = append(extra, v)
+	kept := r.buf[:0]
+	for _, x := range r.buf {
+		if x != v {
+			kept = append(kept, x)
+		}
+	}
+	r.buf = kept
+	sum := entry{k: v}
+	return sum.k + len(extra)
+}
+
+// entry is a plain value type; its composite literal does not escape.
+type entry struct{ k int }
+
+// Cold is unannotated: hotpathlint never looks inside.
+func (r *Ring) Cold(n int) []int {
+	return make([]int, n)
+}
+
+// Excused carries a justified suppression; the directive must cancel the
+// finding without surfacing as stale.
+//
+//mlorass:hotpath
+func (r *Ring) Excused(n int) []int {
+	if cap(r.buf) < n {
+		//lint:ignore hotpathlint amortized warm-up growth for the fixture
+		r.buf = make([]int, n)
+	}
+	return r.buf[:n]
+}

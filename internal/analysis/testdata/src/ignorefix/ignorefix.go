@@ -1,0 +1,43 @@
+// Package mobility is a suppression fixture (named into detlint's scope):
+// it proves lint:ignore cancels findings on the same line and the line
+// above, that a reason is mandatory, and that a directive cancelling
+// nothing is reported as stale. The expected diagnostics are asserted
+// line-by-line in ignore_test.go, not with want comments — a want comment
+// after an analyzer list would itself parse as the directive's reason.
+package mobility
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SuppressedAbove cancels the finding from the preceding line.
+func SuppressedAbove() time.Time {
+	//lint:ignore detlint fixture: wall clock deliberately read here
+	return time.Now()
+}
+
+// SuppressedTrailing cancels the finding from the same line.
+func SuppressedTrailing() float64 {
+	return rand.Float64() //lint:ignore detlint fixture: global stream deliberately used here
+}
+
+// MissingReason gives no justification: the finding survives (line 28) and
+// the directive itself is reported (line 27).
+func MissingReason() time.Time {
+	//lint:ignore detlint
+	return time.Now()
+}
+
+// Stale excuses a line that is clean: the directive is reported (line 34).
+func Stale() int {
+	//lint:ignore detlint nothing here allocates or reads clocks
+	return 42
+}
+
+// WrongAnalyzer suppresses the wrong analyzer: the finding survives (line
+// 41) and the directive is stale (line 40).
+func WrongAnalyzer() time.Time {
+	//lint:ignore hotpathlint wrong analyzer named
+	return time.Now()
+}

@@ -1,0 +1,24 @@
+// Package tooling sits outside detlint's simulation scope: the same
+// constructs that are findings in a simulation package are legal here
+// (command-line tools may read clocks and draw from the global stream).
+package tooling
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock — fine outside the simulation.
+func Stamp() time.Time { return time.Now() }
+
+// Jitter draws from the global stream — fine outside the simulation.
+func Jitter() float64 { return rand.Float64() }
+
+// Collect bakes in map order — a tool may not care.
+func Collect(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package radio is a unitlint fixture: it declares local copies of the unit
+// types (recognition is by name + float64 underlying) and seeds one violation
+// per rule, next to the legal forms the analyzer must leave alone.
+package radio
+
+// DBm is an absolute power level.
+type DBm float64
+
+// DB is a relative gain, loss or margin.
+type DB float64
+
+// Meters is a distance.
+type Meters float64
+
+// Hz is a frequency.
+type Hz float64
+
+// Sub is the blessed DBm difference; the float64 conversions inside the
+// method are the sanctioned escape hatch.
+func (x DBm) Sub(y DBm) DB { return DB(float64(x) - float64(y)) }
+
+// BadAdd adds two absolute powers.
+func BadAdd(a, b DBm) DBm {
+	return a + b // want "adding two DBm values is dimensionally wrong"
+}
+
+// BadSub takes a raw DBm difference, mislabelling the DB result as DBm.
+func BadSub(a, b DBm) DBm {
+	return a - b // want "DBm minus DBm is a DB difference"
+}
+
+// BadConv relabels an absolute power as a margin without touching float64.
+func BadConv(rssi DBm) DB {
+	return DB(rssi) // want "direct DB\(DBm\) conversion relabels the unit"
+}
+
+// GoodConv converts through float64, making the unit change explicit.
+func GoodConv(rssi DBm) DB {
+	return DB(float64(rssi))
+}
+
+// GoodAlgebra exercises the legal operations: DB accumulates, constants
+// offset absolute powers, and Sub produces the difference.
+func GoodAlgebra(tx DBm, loss, fade DB) DB {
+	total := loss + fade
+	threshold := tx - 3
+	return threshold.Sub(tx) + total
+}
+
+// BadTable is a link-budget table keyed by raw floats with unit-suffixed
+// names; in the radio stack these must use the named types.
+type BadTable struct {
+	SensitivityDBm float64 // want "declare it as radio.DBm"
+	MarginDB       float64 // want "declare it as radio.DB"
+	BandwidthHz    float64 // want "declare it as radio.Hz"
+	RangeM         float64 // want "declare it as radio.Meters"
+	Exponent       float64
+}
+
+// BadSignature smuggles units through raw float64 parameters and results.
+func BadSignature(rssiDBm float64) (snrDB float64) { // want "declare it as radio.DBm" "declare it as radio.DB"
+	return rssiDBm
+}
+
+// GoodTable carries its units in the type system.
+type GoodTable struct {
+	Sensitivity DBm
+	Margin      DB
+	Bandwidth   Hz
+	Range       Meters
+}

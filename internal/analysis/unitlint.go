@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unitTypeNames are the radio-unit types (internal/radio): named types with a
+// float64 underlying. Recognition is by name + underlying so the fixture
+// corpus can declare its own copies.
+var unitTypeNames = map[string]bool{
+	"DBm":    true, // absolute power, dB-milliwatts
+	"DB":     true, // relative gain/loss/margin
+	"Meters": true,
+	"Hz":     true,
+}
+
+// unitScopedPackages are the packages whose float64 declarations must use the
+// named unit types when their names carry a unit suffix. The experiment
+// config surface deliberately stays float64 (it is the user-facing JSON
+// boundary); conversion to units happens once, at simulator assembly.
+var unitScopedPackages = map[string]bool{
+	"radio":   true,
+	"lorawan": true,
+	"mac":     true,
+	"core":    true,
+}
+
+// UnitLint enforces the radio-unit algebra: absolute dBm values never add,
+// dBm−dBm differences are taken through DBm.Sub (they are a DB, not a DBm),
+// unit types never convert directly into one another (float64() is the
+// explicit escape hatch), and unit-suffixed float64 declarations in the radio
+// stack use the named types instead.
+var UnitLint = &Analyzer{
+	Name: "unitlint",
+	Doc:  "forbid raw-float unit mixing and dimensionally wrong dBm arithmetic",
+	Run:  runUnitLint,
+}
+
+func runUnitLint(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkDBmArith(p, n)
+			case *ast.CallExpr:
+				checkUnitConv(p, n)
+			case *ast.FuncDecl:
+				if unitScopedPackages[p.Pkg.Name()] {
+					checkFieldNames(p, n.Type.Params)
+					checkFieldNames(p, n.Type.Results)
+				}
+			case *ast.StructType:
+				if unitScopedPackages[p.Pkg.Name()] {
+					checkFieldNames(p, n.Fields)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unitTypeName returns the unit-type name of t ("DBm", "DB", ...) or "".
+func unitTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Float64 {
+		return ""
+	}
+	if name := named.Obj().Name(); unitTypeNames[name] {
+		return name
+	}
+	return ""
+}
+
+// checkDBmArith flags dimensionally wrong arithmetic on absolute powers:
+// DBm+DBm has no physical meaning (absolute powers do not add on a log
+// scale), and DBm−DBm is a DB difference, so raw subtraction — which yields
+// DBm — must go through DBm.Sub.
+func checkDBmArith(p *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.ADD && bin.Op != token.SUB {
+		return
+	}
+	xt, yt := p.TypesInfo.TypeOf(bin.X), p.TypesInfo.TypeOf(bin.Y)
+	if xt == nil || yt == nil {
+		return
+	}
+	if unitTypeName(xt) != "DBm" || unitTypeName(yt) != "DBm" {
+		return
+	}
+	// Untyped constants take on DBm only by context; offsetting an absolute
+	// power by a literal (sensitivity - 1) is fine and stays unflagged.
+	if isUntypedConst(p.TypesInfo, bin.X) || isUntypedConst(p.TypesInfo, bin.Y) {
+		return
+	}
+	if bin.Op == token.ADD {
+		p.Reportf(bin.OpPos, "adding two DBm values is dimensionally wrong; offset an absolute power with DBm.Plus(DB)")
+	} else {
+		p.Reportf(bin.OpPos, "DBm minus DBm is a DB difference; use DBm.Sub, or DBm.Minus(DB) to apply a loss")
+	}
+}
+
+// checkUnitConv flags direct conversions between distinct unit types, e.g.
+// DB(rssi) where rssi is a DBm: silently relabelling a quantity's dimension
+// is exactly the bug class the types exist to stop. Converting through
+// float64() signals intent and stays legal.
+func checkUnitConv(p *Pass, call *ast.CallExpr) {
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := unitTypeName(tv.Type)
+	if dst == "" {
+		return
+	}
+	src := unitTypeName(p.TypesInfo.TypeOf(call.Args[0]))
+	if src == "" || src == dst {
+		return
+	}
+	p.Reportf(call.Pos(), "direct %s(%s) conversion relabels the unit; convert explicitly through float64()", dst, src)
+}
+
+// unitSuffixes maps declaration-name suffixes to the unit type they should
+// carry. Longer suffixes are tried first so "...DBm" is not caught by "DB".
+var unitSuffixes = []struct{ suffix, unit string }{
+	{"DBm", "radio.DBm"},
+	{"DB", "radio.DB"},
+	{"Hz", "radio.Hz"},
+}
+
+// checkFieldNames flags float64 parameters, results and struct fields whose
+// names announce a unit (…DBm, …DB, …Hz, Range/Dist…M) in the unit-scoped
+// packages.
+func checkFieldNames(p *Pass, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		t := p.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		basic, ok := t.(*types.Basic)
+		if !ok || basic.Kind() != types.Float64 {
+			continue
+		}
+		for _, name := range f.Names {
+			if unit := suggestedUnit(name.Name); unit != "" {
+				p.Reportf(name.Pos(), "%s is a float64 with a unit-suffixed name; declare it as %s", name.Name, unit)
+			}
+		}
+	}
+}
+
+// suggestedUnit returns the unit type a declaration name implies, or "".
+func suggestedUnit(name string) string {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s.suffix) {
+			return s.unit
+		}
+	}
+	if strings.HasSuffix(name, "M") &&
+		(strings.Contains(name, "Range") || strings.Contains(name, "Dist") || strings.Contains(name, "Radius")) {
+		return "radio.Meters"
+	}
+	return ""
+}
+
+// isUntypedConst reports whether expr is an untyped constant expression.
+func isUntypedConst(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mlorass/internal/core"
+	"mlorass/internal/radio"
 )
 
 // ExampleGatewayEstimator shows the RCA-ETX life cycle: the metric tracks
@@ -73,7 +74,7 @@ func ExampleROBCTransfer() {
 func ExampleLinkModel() {
 	link := core.DefaultLinkModel(0.023) // cmax: one bundle per duty window
 
-	for _, rssi := range []float64{-80, -100, -130} {
+	for _, rssi := range []radio.DBm{-80, -100, -130} {
 		fmt.Printf("RSSI %4.0f dBm -> capacity %.4f pkt/s\n", rssi, link.Capacity(rssi))
 	}
 	// Output:

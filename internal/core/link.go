@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"mlorass/internal/radio"
 )
 
 // LinkModel maps an overheard broadcast's RSSI to a device-to-device link
@@ -14,10 +16,10 @@ import (
 type LinkModel struct {
 	// GammaMinDBm is γ_min: at or below this RSSI the link has zero
 	// capacity.
-	GammaMinDBm float64
+	GammaMinDBm radio.DBm
 	// GammaMaxDBm is γ_max: at or above this RSSI the link reaches
 	// CMaxPPS.
-	GammaMaxDBm float64
+	GammaMaxDBm radio.DBm
 	// CMaxPPS is c_max(x,y), the maximum link service rate in packets
 	// per second (one bundled frame per duty-cycled transmission
 	// opportunity).
@@ -50,14 +52,14 @@ func (m LinkModel) Validate() error {
 //	c = cmax · (γ − γmin)/(γmax − γmin)   for γmin ≤ γ ≤ γmax
 //	c = cmax                              for γ > γmax
 //	c = 0                                 for γ < γmin
-func (m LinkModel) Capacity(rssiDBm float64) float64 {
+func (m LinkModel) Capacity(rssi radio.DBm) float64 {
 	switch {
-	case rssiDBm < m.GammaMinDBm:
+	case rssi < m.GammaMinDBm:
 		return 0
-	case rssiDBm > m.GammaMaxDBm:
+	case rssi > m.GammaMaxDBm:
 		return m.CMaxPPS
 	}
-	norm := (rssiDBm - m.GammaMinDBm) / (m.GammaMaxDBm - m.GammaMinDBm)
+	norm := float64(rssi.Sub(m.GammaMinDBm)) / float64(m.GammaMaxDBm.Sub(m.GammaMinDBm))
 	if m.CapacityFunc != nil {
 		f := m.CapacityFunc(norm)
 		if f < 0 {
@@ -73,8 +75,8 @@ func (m LinkModel) Capacity(rssiDBm float64) float64 {
 
 // RCAETX computes RCA-ETX(x, y) = 1/c per Eq. (6), in seconds. A dead link
 // (zero capacity) returns +Inf so it never wins a forwarding comparison.
-func (m LinkModel) RCAETX(rssiDBm float64) float64 {
-	c := m.Capacity(rssiDBm)
+func (m LinkModel) RCAETX(rssi radio.DBm) float64 {
+	c := m.Capacity(rssi)
 	if c <= 0 {
 		return math.Inf(1)
 	}

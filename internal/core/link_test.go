@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"mlorass/internal/radio"
 )
 
 func TestLinkModelValidate(t *testing.T) {
@@ -24,7 +26,7 @@ func TestLinkModelValidate(t *testing.T) {
 func TestCapacityEq5(t *testing.T) {
 	m := LinkModel{GammaMinDBm: -120, GammaMaxDBm: -80, CMaxPPS: 2}
 	tests := []struct {
-		rssi float64
+		rssi radio.DBm
 		want float64
 	}{
 		{-130, 0}, // below γmin
@@ -98,7 +100,7 @@ func TestShouldForwardGreedyEq1(t *testing.T) {
 func TestQuickCapacityMonotoneBounded(t *testing.T) {
 	m := DefaultLinkModel(0.5)
 	f := func(a, b int16) bool {
-		ra, rb := float64(a)/100, float64(b)/100
+		ra, rb := radio.DBm(a)/100, radio.DBm(b)/100
 		if ra > rb {
 			ra, rb = rb, ra
 		}

@@ -29,6 +29,10 @@ import (
 // Stop before reaching its scheduled horizon.
 var ErrStopped = errors.New("eventsim: simulation stopped")
 
+// errNilEvent is predeclared so the hot scheduling path allocates nothing
+// even when rejecting a bad call.
+var errNilEvent = errors.New("eventsim: nil event")
+
 // Event is a callback scheduled to execute at a virtual time instant.
 type Event func(now time.Duration)
 
@@ -122,6 +126,8 @@ func (s *Simulator) SetProbe(p Probe) { s.probe = p }
 // FIFO among same-instant events: sequence numbers are unique, so (at, seq)
 // is a total order and the pop sequence is independent of the heap's
 // internal arrangement.
+//
+//mlorass:hotpath
 func (s *Simulator) siftUp(i int) {
 	e := s.heap[i]
 	for i > 0 {
@@ -136,6 +142,8 @@ func (s *Simulator) siftUp(i int) {
 }
 
 // siftDown restores the heap property from position i towards the leaves.
+//
+//mlorass:hotpath
 func (s *Simulator) siftDown(i int) {
 	n := len(s.heap)
 	e := s.heap[i]
@@ -165,6 +173,8 @@ func (s *Simulator) siftDown(i int) {
 
 // alloc takes a slab slot from the free-list, growing the slab only when it
 // is exhausted.
+//
+//mlorass:hotpath
 func (s *Simulator) alloc() int32 {
 	if n := len(s.free); n > 0 {
 		slot := s.free[n-1]
@@ -177,6 +187,8 @@ func (s *Simulator) alloc() int32 {
 
 // release returns a slab slot to the free-list, dropping the callback
 // reference so the closure can be collected.
+//
+//mlorass:hotpath
 func (s *Simulator) release(slot int32) {
 	it := &s.items[slot]
 	it.fn = nil
@@ -186,11 +198,14 @@ func (s *Simulator) release(slot int32) {
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // returns an error: the kernel never rewinds the clock.
+//
+//mlorass:hotpath
 func (s *Simulator) At(at time.Duration, fn Event) (Handle, error) {
 	if fn == nil {
-		return Handle{}, errors.New("eventsim: nil event")
+		return Handle{}, errNilEvent
 	}
 	if at < s.now {
+		//lint:ignore hotpathlint cold rejection path: a valid run never schedules into the past
 		return Handle{}, fmt.Errorf("eventsim: schedule at %v before now %v", at, s.now)
 	}
 	s.nextSeq++
@@ -219,6 +234,8 @@ func (s *Simulator) After(d time.Duration, fn Event) (Handle, error) {
 // pending (false when already executed, cancelled, or invalid). The entry is
 // marked in place (O(1)); the heap is compacted once cancelled entries
 // outnumber live ones, so cancellation never leaks queue space.
+//
+//mlorass:hotpath
 func (s *Simulator) Cancel(h Handle) bool {
 	if h.seq == 0 || h.slot < 0 || int(h.slot) >= len(s.items) {
 		return false
@@ -240,6 +257,8 @@ func (s *Simulator) Cancel(h Handle) bool {
 // re-establishes the heap property bottom-up. The (time, sequence) order is
 // total, so the pop sequence after compaction is identical to the lazy
 // skip-on-pop behaviour.
+//
+//mlorass:hotpath
 func (s *Simulator) compact() {
 	kept := s.heap[:0]
 	for _, e := range s.heap {
@@ -258,6 +277,8 @@ func (s *Simulator) compact() {
 
 // popMin removes and returns the heap's minimum entry. Callers check
 // emptiness first.
+//
+//mlorass:hotpath
 func (s *Simulator) popMin() heapEnt {
 	e := s.heap[0]
 	n := len(s.heap) - 1
@@ -274,6 +295,8 @@ func (s *Simulator) Stop() { s.stopped = true }
 
 // step executes the next pending event. It reports false when the queue is
 // exhausted.
+//
+//mlorass:hotpath
 func (s *Simulator) step() bool {
 	for len(s.heap) > 0 {
 		e := s.popMin()
@@ -333,6 +356,8 @@ func (s *Simulator) RunUntil(horizon time.Duration) error {
 
 // peek returns the scheduled time of the next live event, discarding
 // cancelled entries from the top of the heap along the way.
+//
+//mlorass:hotpath
 func (s *Simulator) peek() (time.Duration, bool) {
 	for len(s.heap) > 0 {
 		e := s.heap[0]

@@ -100,7 +100,7 @@ type device struct {
 	// until the ack arrives or ackTimeoutH fires.
 	dr          lorawan.DataRate
 	txPowIdx    int
-	txPowDBm    float64
+	txPowDBm    radio.DBm
 	awaitingAck bool
 	ackTimeoutH eventsim.Handle
 
@@ -202,8 +202,8 @@ type sim struct {
 	// caches downlink airtimes per (data rate, with-ADR-command) pair.
 	phyByDR    [lorawan.NumDataRates]radio.PHYParams
 	dlAirTbl   [lorawan.NumDataRates][2]time.Duration
-	noiseFloor float64
-	gwTxPowDBm float64
+	noiseFloor radio.DBm
+	gwTxPowDBm radio.DBm
 	// MAC diagnostics.
 	downlinks          uint64
 	downlinkDeliveries uint64
@@ -249,14 +249,14 @@ func Run(cfg Config) (*Result, error) {
 	cmaxPPS := cfg.DutyCycle / fullAirtime.Seconds()
 
 	loss := radio.DefaultPathLoss()
-	loss.ShadowSigmaDB = cfg.ShadowSigmaDB
+	loss.ShadowSigmaDB = radio.DB(cfg.ShadowSigmaDB)
 	medium, err := radio.NewMedium(radio.MediumConfig{
 		Loss: loss,
 		// Connectivity is range-gated per link class as in the paper;
 		// sensitivity must not re-gate it, so it is effectively
 		// disabled and Eq. (5) consumes the raw RSSI.
 		SensitivityDBm: -1e9,
-		CaptureDB:      cfg.CaptureDB,
+		CaptureDB:      radio.DB(cfg.CaptureDB),
 		Seed:           cfg.Seed ^ 0x51ab,
 	})
 	if err != nil {
@@ -354,7 +354,7 @@ func Run(cfg Config) (*Result, error) {
 			pendDest:       -1,
 			fwdTarget:      -1,
 			listenFraction: 1,
-			txPowDBm:       cfg.TxPowerDBm,
+			txPowDBm:       radio.DBm(cfg.TxPowerDBm),
 		}
 		if s.macOn {
 			joinSF := cfg.MAC.InitialSF
@@ -474,6 +474,8 @@ func (s *sim) scheduleDisruption() error {
 // devPos returns device d's position at the given instant through its
 // trajectory cursor, memoising the last query so one instant's repeated
 // reads resolve once. Bit-identical to d.node.PositionAt(at).
+//
+//mlorass:hotpath
 func (s *sim) devPos(d *device, at time.Duration) (geo.Point, bool) {
 	if d.memoValid && d.memoAt == at {
 		return d.memoPos, d.memoOK
@@ -534,6 +536,8 @@ func (s *sim) scheduleTick(d *device, at time.Duration) {
 
 // tick is one device slot: observe the estimator, account listening energy,
 // generate a message, and attempt an uplink (Sec. VII-A4/5).
+//
+//mlorass:hotpath
 func (s *sim) tick(d *device, now time.Duration) {
 	if d.failed || !d.node.Active(now) {
 		return
@@ -596,6 +600,8 @@ func (s *sim) tick(d *device, now time.Duration) {
 // redirects the frame to the chosen neighbour; otherwise it is a
 // sink-addressed uplink. Either way every frame is a broadcast that gateways
 // and neighbours may receive.
+//
+//mlorass:hotpath
 func (s *sim) tryUplink(d *device, now time.Duration) {
 	if d.busy || d.awaitingAck || d.failed || d.queue.Len() == 0 || !d.node.Active(now) {
 		return
@@ -641,6 +647,8 @@ func (s *sim) stillInRange(d *device, dest int, now time.Duration) bool {
 // The bundle lives in the device's reusable scratch (one transmission in
 // flight per device), and resolution state rides the device so the prebuilt
 // resolveFn closure needs no per-transmission capture.
+//
+//mlorass:hotpath
 func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
 	pos, ok := s.devPos(d, now)
 	if !ok {
@@ -698,6 +706,8 @@ func (s *sim) transmit(d *device, now time.Duration, dest, count int) {
 // device-to-device handover or retransmission bookkeeping, then neighbour
 // overhearing and forwarding decisions. The frame, radio handle, and
 // destination were parked on the device by transmit.
+//
+//mlorass:hotpath
 func (s *sim) resolve(d *device, now time.Duration) {
 	tx, frame, dest := d.pendTx, d.pendFrame, d.pendDest
 	d.busy = false
@@ -778,7 +788,9 @@ type gwCand struct {
 // candidate scratch is reused across calls and ordered by insertion sort —
 // the total (dist, idx) key makes the order identical to any comparison
 // sort, and in-range gateway counts are single digits.
-func (s *sim) receiveAtGateways(tx *radio.Transmission) (int, float64) {
+//
+//mlorass:hotpath
+func (s *sim) receiveAtGateways(tx *radio.Transmission) (int, radio.DBm) {
 	cands := s.gwCands[:0]
 	maxR := s.cfg.GatewayRangeM
 	for i, gp := range s.gws {
@@ -935,6 +947,8 @@ func (s *sim) listening(d *device) bool {
 // overhear lets every in-range listening neighbour receive the broadcast and
 // run the forwarding policy against the advertised RCA-ETX and queue length
 // (Sec. IV-A).
+//
+//mlorass:hotpath
 func (s *sim) overhear(sender *device, tx *radio.Transmission, frame lorawan.Frame, dest int, now time.Duration) {
 	if s.policy.Scheme() == routing.SchemeNoRouting {
 		return
@@ -975,7 +989,7 @@ func (s *sim) overhear(sender *device, tx *radio.Transmission, frame lorawan.Fra
 		}
 		// One RSSI measurement per overheard broadcast feeds Eq. (5),
 		// at the sender's (possibly ADR-lowered) transmit power.
-		rssi := s.d2dLoss.RSSI(sender.txPowDBm, dist, s.d2dShadow)
+		rssi := s.d2dLoss.RSSI(sender.txPowDBm, radio.Meters(dist), s.d2dShadow)
 		linkETX := s.link.RCAETX(rssi)
 		local := routing.LocalState{
 			RCAETX:   z.est.RCAETX(),

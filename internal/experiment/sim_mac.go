@@ -35,13 +35,13 @@ func (s *sim) setupMAC() error {
 	}
 	s.noiseFloor = radio.NoiseFloorDBm(s.phy.BandwidthHz)
 	// Resolved by Normalize: 0 selected the device power.
-	s.gwTxPowDBm = s.cfg.MAC.DownlinkTxPowerDBm
+	s.gwTxPowDBm = radio.DBm(s.cfg.MAC.DownlinkTxPowerDBm)
 
 	var ctrl *mac.Controller
 	if s.cfg.MAC.ADR {
 		var err error
 		ctrl, err = mac.NewController(mac.ADRConfig{
-			MarginDB:   s.cfg.MAC.ADRMarginDB,
+			MarginDB:   radio.DB(s.cfg.MAC.ADRMarginDB),
 			HistoryLen: s.cfg.MAC.ADRHistory,
 			StepDB:     3,
 			MinHistory: s.cfg.MAC.ADRMinHistory,
@@ -91,8 +91,8 @@ func (s *sim) rxTiming(d *device) netserver.RxTiming {
 // parked in pendFrame until the ack arrives or the window closes; for
 // unconfirmed traffic the uplink completes immediately, exactly like the
 // paper's instant-ack model.
-func (s *sim) macUplink(d *device, gw int, rssiDBm float64, now time.Duration) {
-	snr := rssiDBm - s.noiseFloor
+func (s *sim) macUplink(d *device, gw int, rssi radio.DBm, now time.Duration) {
+	snr := rssi.Sub(s.noiseFloor)
 	plan, ok := s.server.MAC().OnUplink(
 		d.id, gw, snr, d.dr, d.txPowIdx, s.confirmed, now, s.rxTiming(d))
 	// ok is false both when no downlink is due (unconfirmed, no pending
@@ -193,7 +193,7 @@ func (s *sim) resolveDownlink(d *device, end time.Duration) {
 			d.txPowIdx = d.dlCmd.TxPowerIndex
 			// The TXPower ladder is anchored at the configured baseline
 			// power: index 0 reproduces the fixed-power paper setting.
-			d.txPowDBm = lorawan.TxPowerDBm(s.cfg.TxPowerDBm, d.txPowIdx)
+			d.txPowDBm = lorawan.TxPowerDBm(radio.DBm(s.cfg.TxPowerDBm), d.txPowIdx)
 			s.adrApplied++
 			s.rec.AddADRApplied()
 		}

@@ -111,6 +111,8 @@ func (ix *devIndex) stale(now time.Duration) bool {
 // position of each listed device (ok=false entries are skipped). The caller
 // usually lists ids in ascending order (the simulator's active list); any
 // other order costs one extra sort pass per rebuild.
+//
+//mlorass:hotpath
 func (ix *devIndex) refresh(now time.Duration, ids []int, pos func(id int) (geo.Point, bool)) {
 	if !ix.stale(now) {
 		return
@@ -172,6 +174,7 @@ func (ix *devIndex) refresh(now time.Duration, ids []int, pos func(id int) (geo.
 		return
 	}
 	if !ascending {
+		//lint:ignore hotpathlint capture-free comparator on the cold path: the simulator's active list is already ascending
 		slices.SortFunc(ix.entries, func(a, b devEntry) int { return int(a.id) - int(b.id) })
 	}
 	ix.minCX, ix.minCY = minCX, minCY
@@ -196,6 +199,7 @@ func (ix *devIndex) refresh(now time.Duration, ids []int, pos func(id int) (geo.
 	copy(ix.cursors, ix.cellStart)
 	n := len(ix.entries)
 	if cap(ix.ids) < n {
+		//lint:ignore hotpathlint amortized growth to the run's high-water device count; steady state reuses
 		ix.ids = make([]int32, n)
 	} else {
 		ix.ids = ix.ids[:n]
@@ -228,8 +232,11 @@ func (ix *devIndex) refresh(now time.Duration, ids []int, pos func(id int) (geo.
 	}
 	total := int(ix.nbStart[nCells])
 	if cap(ix.nbIDs) < total {
+		//lint:ignore hotpathlint amortized growth to the neighbourhood high-water mark; steady state reuses
 		ix.nbIDs = make([]int32, total)
+		//lint:ignore hotpathlint amortized growth to the neighbourhood high-water mark; steady state reuses
 		ix.nbPosX = make([]float32, total)
+		//lint:ignore hotpathlint amortized growth to the neighbourhood high-water mark; steady state reuses
 		ix.nbPosY = make([]float32, total)
 	} else {
 		ix.nbIDs = ix.nbIDs[:total]
@@ -261,6 +268,8 @@ func (ix *devIndex) refresh(now time.Duration, ids []int, pos func(id int) (geo.
 // distance); the fast path serves it straight from the precomputed
 // neighbourhood arena. The result slice is reused across calls; callers
 // must not retain it.
+//
+//mlorass:hotpath
 func (ix *devIndex) candidates(now time.Duration, p geo.Point, radius float64) []int {
 	ix.scratch = ix.scratch[:0]
 	if ix.cols == 0 {
@@ -301,6 +310,8 @@ func (ix *devIndex) candidates(now time.Duration, p geo.Point, radius float64) [
 // candidatesSlow serves queries outside the precomputed neighbourhood span
 // (wider radius, or a centre cell outside the occupied bounding box):
 // concatenate every covered cell group, then sort.
+//
+//mlorass:hotpath
 func (ix *devIndex) candidatesSlow(lo, hi [2]int) []int {
 	if lo[0] < ix.minCX {
 		lo[0] = ix.minCX

@@ -223,10 +223,10 @@ func TestRunThroughStoreTruncatedArtefact(t *testing.T) {
 		t.Fatal(err)
 	}
 	corruptions := map[string][]byte{
-		"empty file":          {},
-		"json null":           []byte("null"),
-		"garbage":             []byte("\x00\xff\x17 not json at all"),
-		"truncated mid-token": genuine[:len(genuine)/2],
+		"empty file":                            {},
+		"json null":                             []byte("null"),
+		"garbage":                               []byte("\x00\xff\x17 not json at all"),
+		"truncated mid-token":                   genuine[:len(genuine)/2],
 		"valid json, current schema, no fields": []byte(fmt.Sprintf(`{"schema":%d}`, storeSchemaVersion)),
 		"schema only, no throughput":            []byte(fmt.Sprintf(`{"schema":%d,"delivered":3}`, storeSchemaVersion)),
 		"inconsistent delivery samples":         []byte(fmt.Sprintf(`{"schema":%d,"delivered":3,"throughput":{"bin_seconds":600,"counts":[0]},"raw_delays":[1.0]}`, storeSchemaVersion)),

@@ -61,19 +61,19 @@ func DataRateForSF(sf radio.SpreadingFactor) (DataRate, bool) {
 const MaxTxPowerIndex = 5
 
 // TxPowerStepDB is the power reduction per TXPower index step.
-const TxPowerStepDB = 2
+const TxPowerStepDB radio.DB = 2
 
 // TxPowerDBm returns the transmit power of a TXPower index on a ladder
 // anchored at the given index-0 power (the device's configured operating
 // power), clamping out-of-range indices into the ladder.
-func TxPowerDBm(anchorDBm float64, index int) float64 {
+func TxPowerDBm(anchor radio.DBm, index int) radio.DBm {
 	if index < 0 {
 		index = 0
 	}
 	if index > MaxTxPowerIndex {
 		index = MaxTxPowerIndex
 	}
-	return anchorDBm - TxPowerStepDB*float64(index)
+	return anchor.Minus(TxPowerStepDB * radio.DB(index))
 }
 
 // LinkADRReq is the network server's adaptive-data-rate MAC command: it asks

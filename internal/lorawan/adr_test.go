@@ -25,12 +25,12 @@ func TestTxPowerLadder(t *testing.T) {
 	// The ladder is anchored at the configured operating power: index 0
 	// reproduces the fixed-power baseline for any anchor, not just the
 	// paper's 14 dBm.
-	for _, anchor := range []float64{14, 10, 0} {
+	for _, anchor := range []radio.DBm{14, 10, 0} {
 		if got := TxPowerDBm(anchor, 0); got != anchor {
 			t.Fatalf("index 0 = %v dBm, want the anchor %v", got, anchor)
 		}
 		for i := 1; i <= MaxTxPowerIndex; i++ {
-			if got, want := TxPowerDBm(anchor, i), TxPowerDBm(anchor, i-1)-TxPowerStepDB; got != want {
+			if got, want := TxPowerDBm(anchor, i), TxPowerDBm(anchor, i-1).Minus(TxPowerStepDB); got != want {
 				t.Fatalf("anchor %v index %d = %v dBm, want %v", anchor, i, got, want)
 			}
 		}

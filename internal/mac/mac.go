@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mlorass/internal/lorawan"
+	"mlorass/internal/radio"
 	"mlorass/internal/rng"
 )
 
@@ -25,14 +26,14 @@ type ADRConfig struct {
 	// MarginDB is the installation margin subtracted from the measured
 	// link headroom before converting it to data-rate steps (LoRaWAN ADR
 	// default: 10 dB — slack for fading the history did not sample).
-	MarginDB float64
+	MarginDB radio.DB
 	// HistoryLen is the per-device uplink SNR window the decision reads
 	// (LoRaWAN ADR default: the last 20 uplinks).
 	HistoryLen int
 	// StepDB is the SNR headroom one data-rate step consumes (2.5 dB per
 	// SF step on the SX1276 demodulation-floor ladder; the LoRaWAN
 	// reference algorithm rounds it to 3 dB, which this default follows).
-	StepDB float64
+	StepDB radio.DB
 	// MinHistory is the number of observed uplinks required before the
 	// controller issues its first command to a device (a decision from one
 	// lucky frame would whipsaw a mobile device's data rate).
@@ -60,9 +61,9 @@ func (c ADRConfig) Validate() error {
 
 // devHistory is one device's rolling uplink SNR window.
 type devHistory struct {
-	snr  []float64 // ring buffer, cfg.HistoryLen capacity
-	next int       // ring write position
-	n    int       // observations stored (≤ len(snr))
+	snr  []radio.DB // ring buffer, cfg.HistoryLen capacity
+	next int        // ring write position
+	n    int        // observations stored (≤ len(snr))
 }
 
 // Controller is the network-server ADR decision engine: it records each
@@ -88,15 +89,15 @@ func NewController(cfg ADRConfig, numDevices int) (*Controller, error) {
 
 // Observe records one decoded uplink's SNR for a device. Out-of-range device
 // indices are ignored (defensive: churned devices cannot corrupt state).
-func (c *Controller) Observe(dev int, snrDB float64) {
+func (c *Controller) Observe(dev int, snr radio.DB) {
 	if dev < 0 || dev >= len(c.devs) {
 		return
 	}
 	h := &c.devs[dev]
 	if h.snr == nil {
-		h.snr = make([]float64, c.cfg.HistoryLen)
+		h.snr = make([]radio.DB, c.cfg.HistoryLen)
 	}
-	h.snr[h.next] = snrDB
+	h.snr[h.next] = snr
 	h.next = (h.next + 1) % len(h.snr)
 	if h.n < len(h.snr) {
 		h.n++
@@ -105,7 +106,7 @@ func (c *Controller) Observe(dev int, snrDB float64) {
 
 // MaxSNR returns the maximum SNR in the device's history window and how many
 // uplinks it spans (0, 0 when nothing was observed).
-func (c *Controller) MaxSNR(dev int) (snrDB float64, n int) {
+func (c *Controller) MaxSNR(dev int) (snr radio.DB, n int) {
 	if dev < 0 || dev >= len(c.devs) {
 		return 0, 0
 	}
@@ -132,7 +133,7 @@ func (c *Controller) MaxSNR(dev int) (snrDB float64, n int) {
 // index 0. The data rate is never lowered — LoRaWAN leaves downward
 // adaptation to the device's own ADR backoff, which the simulator models as
 // retransmission failure, not here.
-func TargetLink(maxSNRDB float64, cur lorawan.DataRate, curPow int, marginDB, stepDB float64) (lorawan.DataRate, int) {
+func TargetLink(maxSNR radio.DB, cur lorawan.DataRate, curPow int, margin, step radio.DB) (lorawan.DataRate, int) {
 	if !cur.Valid() {
 		cur = lorawan.DR0
 	}
@@ -142,9 +143,9 @@ func TargetLink(maxSNRDB float64, cur lorawan.DataRate, curPow int, marginDB, st
 	if curPow > lorawan.MaxTxPowerIndex {
 		curPow = lorawan.MaxTxPowerIndex
 	}
-	headroom := maxSNRDB - cur.SF().RequiredSNR() - marginDB
-	steps := int(headroom / stepDB)
-	if headroom < 0 && float64(steps)*stepDB != headroom {
+	headroom := maxSNR - cur.SF().RequiredSNR() - margin
+	steps := int(headroom / step)
+	if headroom < 0 && radio.DB(steps)*step != headroom {
 		steps-- // floor toward -inf for negative headroom
 	}
 	dr, pow := cur, curPow

@@ -34,7 +34,7 @@ func TestControllerHistoryWindow(t *testing.T) {
 	if _, n := ctrl.MaxSNR(0); n != 0 {
 		t.Fatalf("fresh device reports %d observations", n)
 	}
-	for _, snr := range []float64{5, 1, 3} {
+	for _, snr := range []radio.DB{5, 1, 3} {
 		ctrl.Observe(0, snr)
 	}
 	if m, n := ctrl.MaxSNR(0); m != 5 || n != 3 {
@@ -99,10 +99,10 @@ func TestADRMonotonicityProperty(t *testing.T) {
 	for trial := 0; trial < 20000; trial++ {
 		cur := lorawan.DataRate(r.Intn(lorawan.NumDataRates))
 		pow := r.Intn(lorawan.MaxTxPowerIndex + 1)
-		margin := r.Uniform(0, 15)
-		step := 3.0
-		snr := r.Uniform(-40, 40)
-		delta := r.Uniform(0, 30)
+		margin := radio.DB(r.Uniform(0, 15))
+		step := radio.DB(3)
+		snr := radio.DB(r.Uniform(-40, 40))
+		delta := radio.DB(r.Uniform(0, 30))
 
 		dr1, _ := TargetLink(snr, cur, pow, margin, step)
 		dr2, _ := TargetLink(snr+delta, cur, pow, margin, step)
@@ -134,9 +134,9 @@ func TestControllerDecideMonotonicity(t *testing.T) {
 			t.Fatal(err)
 		}
 		n := 4 + r.Intn(30)
-		boost := r.Uniform(0, 20)
+		boost := radio.DB(r.Uniform(0, 20))
 		for i := 0; i < n; i++ {
-			snr := r.Uniform(-35, 10)
+			snr := radio.DB(r.Uniform(-35, 10))
 			lo.Observe(0, snr)
 			hi.Observe(0, snr+boost)
 		}

@@ -67,6 +67,7 @@ func (b *Bus) newCursor() Cursor { return &busCursor{b: b} }
 
 func (c *busCursor) Model() Model { return c.b }
 
+//mlorass:hotpath
 func (c *busCursor) PositionAt(at time.Duration) (geo.Point, bool) {
 	m, ok := c.b.arc(at)
 	if !ok {
@@ -86,6 +87,7 @@ func (n *waypointNode) newCursor() Cursor { return &waypointCursor{n: n} }
 
 func (c *waypointCursor) Model() Model { return c.n }
 
+//mlorass:hotpath
 func (c *waypointCursor) PositionAt(at time.Duration) (geo.Point, bool) {
 	n := c.n
 	if !n.Active(at) {
@@ -122,6 +124,8 @@ func (c *waypointCursor) PositionAt(at time.Duration) (geo.Point, bool) {
 // arc maps an instant to the bus's arc-length position along the route: the
 // shared triangle-wave math behind both the stateless Position and the
 // cursor, so the two stay bit-identical by construction.
+//
+//mlorass:hotpath
 func (b *Bus) arc(at time.Duration) (float64, bool) {
 	if at < b.trip.Start || at >= b.tripEnd {
 		return 0, false

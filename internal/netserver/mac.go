@@ -5,6 +5,7 @@ import (
 
 	"mlorass/internal/lorawan"
 	"mlorass/internal/mac"
+	"mlorass/internal/radio"
 )
 
 // RxTiming carries the receive-window timing and airtimes the downlink
@@ -60,13 +61,13 @@ type MAC struct {
 // pending — schedule the answering downlink on the gateway. It returns the
 // committed plan, or ok=false when no downlink is needed or the gateway's
 // duty budget had no open window (the scheduler counts the drop).
-func (m *MAC) OnUplink(dev, gw int, snrDB float64, cur lorawan.DataRate, curPow int, confirmed bool, uplinkEnd time.Duration, t RxTiming) (DownlinkPlan, bool) {
+func (m *MAC) OnUplink(dev, gw int, snr radio.DB, cur lorawan.DataRate, curPow int, confirmed bool, uplinkEnd time.Duration, t RxTiming) (DownlinkPlan, bool) {
 	var (
 		cmd    lorawan.LinkADRReq
 		hasCmd bool
 	)
 	if m.ADR != nil {
-		m.ADR.Observe(dev, snrDB)
+		m.ADR.Observe(dev, snr)
 		cmd, hasCmd = m.ADR.Decide(dev, cur, curPow)
 	}
 	if !confirmed && !hasCmd {

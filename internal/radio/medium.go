@@ -46,7 +46,7 @@ func (o Outcome) String() string {
 // receiver observed (valid for every outcome except OutcomeOutOfRange).
 type Reception struct {
 	Outcome Outcome
-	RSSIDBm float64
+	RSSIDBm DBm
 }
 
 // OK reports whether the frame was decoded.
@@ -58,7 +58,7 @@ type Transmission struct {
 	ID       uint64
 	From     int
 	Pos      geo.Point
-	PowerDBm float64
+	PowerDBm DBm
 	Start    time.Duration
 	End      time.Duration
 	Payload  any
@@ -69,15 +69,15 @@ type MediumConfig struct {
 	// Loss is the path-loss model.
 	Loss PathLoss
 	// SensitivityDBm is the receiver sensitivity (per the configured SF).
-	SensitivityDBm float64
+	SensitivityDBm DBm
 	// CaptureDB is the co-channel rejection: a frame survives overlap if
 	// its RSSI exceeds the strongest interferer by at least this margin.
 	// FLoRa and most LoRa studies use 6 dB.
-	CaptureDB float64
+	CaptureDB DB
 	// MaxRangeM is a hard connectivity gate in metres; 0 disables it.
 	// The paper gates device↔gateway links at 1 km and device↔device
 	// links at 0.5 km (urban) or 1 km (rural).
-	MaxRangeM float64
+	MaxRangeM Meters
 	// Seed seeds the shadowing stream.
 	Seed uint64
 }
@@ -136,7 +136,9 @@ func (m *Medium) Stats() MediumStats { return m.stats }
 // Receive prunes it, the value is recycled by a subsequent Begin. Callers
 // must not retain the pointer past the event that resolves the
 // transmission (virtual time reaching End).
-func (m *Medium) Begin(from int, pos geo.Point, powerDBm float64, start, end time.Duration, payload any) *Transmission {
+//
+//mlorass:hotpath
+func (m *Medium) Begin(from int, pos geo.Point, power DBm, start, end time.Duration, payload any) *Transmission {
 	m.nextID++
 	var tx *Transmission
 	if n := len(m.pool); n > 0 {
@@ -144,13 +146,14 @@ func (m *Medium) Begin(from int, pos geo.Point, powerDBm float64, start, end tim
 		m.pool[n-1] = nil
 		m.pool = m.pool[:n-1]
 	} else {
+		//lint:ignore hotpathlint pool warm-up only: steady state recycles pruned transmissions
 		tx = &Transmission{}
 	}
 	*tx = Transmission{
 		ID:       m.nextID,
 		From:     from,
 		Pos:      pos,
-		PowerDBm: powerDBm,
+		PowerDBm: power,
 		Start:    start,
 		End:      end,
 		Payload:  payload,
@@ -162,6 +165,8 @@ func (m *Medium) Begin(from int, pos geo.Point, powerDBm float64, start, end tim
 
 // prune recycles transmissions that ended strictly before cutoff, keeping
 // the active list short. Called internally from Receive.
+//
+//mlorass:hotpath
 func (m *Medium) prune(cutoff time.Duration) {
 	keep := m.active[:0]
 	for _, tx := range m.active {
@@ -185,10 +190,12 @@ func (m *Medium) ActiveCount() int { return len(m.active) }
 // transmission's end time so all overlapping interferers are registered.
 // Each call makes one shadowing draw, so runs remain deterministic given
 // deterministic event order.
+//
+//mlorass:hotpath
 func (m *Medium) Receive(tx *Transmission, rxPos geo.Point) Reception {
 	m.prune(tx.Start)
 
-	dist := tx.Pos.Dist(rxPos)
+	dist := Meters(tx.Pos.Dist(rxPos))
 	if m.cfg.MaxRangeM > 0 && dist > m.cfg.MaxRangeM {
 		m.stats.OutOfRange++
 		return Reception{Outcome: OutcomeOutOfRange}
@@ -203,7 +210,7 @@ func (m *Medium) Receive(tx *Transmission, rxPos geo.Point) Reception {
 	// Capture check against the strongest overlapping interferer. Mean
 	// RSSI (no extra shadowing draw) keeps interference deterministic and
 	// symmetric across receivers.
-	strongest := -1e9
+	strongest := DBm(-1e9)
 	for _, other := range m.active {
 		if other.ID == tx.ID || other.From == tx.From {
 			continue
@@ -211,12 +218,12 @@ func (m *Medium) Receive(tx *Transmission, rxPos geo.Point) Reception {
 		if other.End <= tx.Start || other.Start >= tx.End {
 			continue
 		}
-		ir := m.cfg.Loss.MeanRSSI(other.PowerDBm, other.Pos.Dist(rxPos))
+		ir := m.cfg.Loss.MeanRSSI(other.PowerDBm, Meters(other.Pos.Dist(rxPos)))
 		if ir > strongest {
 			strongest = ir
 		}
 	}
-	if strongest > -1e9 && rssi-strongest < m.cfg.CaptureDB {
+	if strongest > -1e9 && rssi.Sub(strongest) < m.cfg.CaptureDB {
 		m.stats.Collisions++
 		return Reception{Outcome: OutcomeCollision, RSSIDBm: rssi}
 	}

@@ -38,7 +38,7 @@ func (sf SpreadingFactor) String() string { return fmt.Sprintf("SF%d", int(sf)) 
 
 // Sensitivity returns the receiver sensitivity in dBm for this spreading
 // factor at 125 kHz bandwidth (SX1276 datasheet values, as used by FLoRa).
-func (sf SpreadingFactor) Sensitivity() float64 {
+func (sf SpreadingFactor) Sensitivity() DBm {
 	switch sf {
 	case SF7:
 		return -124
@@ -60,32 +60,32 @@ func (sf SpreadingFactor) Sensitivity() float64 {
 // RequiredSNR returns the minimum demodulation SNR in dB for this spreading
 // factor (SX1276 datasheet: -7.5 dB at SF7 down to -20 dB at SF12, 2.5 dB
 // per step). It is the floor the ADR margin computation measures against.
-func (sf SpreadingFactor) RequiredSNR() float64 {
+func (sf SpreadingFactor) RequiredSNR() DB {
 	if !sf.Valid() {
 		return 0
 	}
-	return -7.5 - 2.5*float64(sf-SF7)
+	return DB(-7.5 - 2.5*float64(sf-SF7))
 }
 
 // NoiseFigureDB is the receiver noise figure assumed by the SNR conversion
 // (a typical LoRa gateway front end).
-const NoiseFigureDB = 6
+const NoiseFigureDB DB = 6
 
 // NoiseFloorDBm returns the thermal noise floor for the given bandwidth:
 // -174 dBm/Hz + 10·log10(BW) + noise figure. For the 125 kHz LoRaWAN
 // channel this is ≈ -117 dBm.
-func NoiseFloorDBm(bwHz float64) float64 {
-	if bwHz <= 0 {
+func NoiseFloorDBm(bw Hz) DBm {
+	if bw <= 0 {
 		return 0
 	}
-	return -174 + 10*math.Log10(bwHz) + NoiseFigureDB
+	return DBm(-174 + 10*math.Log10(float64(bw)) + float64(NoiseFigureDB))
 }
 
 // SNRFromRSSI converts a received signal strength to SNR against the
 // bandwidth's noise floor — the quantity the network server's ADR history
 // records per uplink.
-func SNRFromRSSI(rssiDBm, bwHz float64) float64 {
-	return rssiDBm - NoiseFloorDBm(bwHz)
+func SNRFromRSSI(rssi DBm, bw Hz) DB {
+	return rssi.Sub(NoiseFloorDBm(bw))
 }
 
 // PHYParams describes one LoRa transmission configuration.
@@ -94,7 +94,7 @@ type PHYParams struct {
 	SF SpreadingFactor
 	// BandwidthHz is the channel bandwidth; LoRaWAN EU868 data channels
 	// use 125 kHz.
-	BandwidthHz float64
+	BandwidthHz Hz
 	// CodingRate is the coding-rate denominator offset: 1 for 4/5 ... 4
 	// for 4/8. LoRaWAN uses 4/5.
 	CodingRate int
@@ -143,7 +143,7 @@ func (p PHYParams) Validate() error {
 
 // SymbolTime returns the duration of one LoRa symbol: 2^SF / BW.
 func (p PHYParams) SymbolTime() time.Duration {
-	sec := math.Exp2(float64(p.SF)) / p.BandwidthHz
+	sec := math.Exp2(float64(p.SF)) / float64(p.BandwidthHz)
 	return time.Duration(sec * float64(time.Second))
 }
 
@@ -154,7 +154,7 @@ func (p PHYParams) Airtime(payloadBytes int) time.Duration {
 	if payloadBytes < 0 {
 		payloadBytes = 0
 	}
-	ts := math.Exp2(float64(p.SF)) / p.BandwidthHz // seconds per symbol
+	ts := math.Exp2(float64(p.SF)) / float64(p.BandwidthHz) // seconds per symbol
 	preamble := (float64(p.PreambleSymbols) + 4.25) * ts
 
 	de := 0.0
@@ -185,7 +185,7 @@ func (p PHYParams) Airtime(payloadBytes int) time.Duration {
 // cycle is applied on top (handled by the MAC layer).
 func (p PHYParams) BitRate() float64 {
 	cr := 4.0 / float64(4+p.CodingRate)
-	return float64(p.SF) * p.BandwidthHz / math.Exp2(float64(p.SF)) * cr
+	return float64(p.SF) * float64(p.BandwidthHz) / math.Exp2(float64(p.SF)) * cr
 }
 
 // DutyCycleWait returns how long a transmitter must stay silent after a

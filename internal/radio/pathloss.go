@@ -15,15 +15,15 @@ import (
 // calibration the paper uses (path-loss exponent 2.32, Petäjäjärvi et al.,
 // ITST 2015).
 type PathLoss struct {
-	// Exponent is the path-loss exponent n.
+	// Exponent is the path-loss exponent n (dimensionless).
 	Exponent float64
 	// RefDistM is the reference distance d0 in metres.
-	RefDistM float64
+	RefDistM Meters
 	// RefLossDB is the measured loss at the reference distance.
-	RefLossDB float64
+	RefLossDB DB
 	// ShadowSigmaDB is the shadowing standard deviation; 0 disables
 	// shadowing.
-	ShadowSigmaDB float64
+	ShadowSigmaDB DB
 }
 
 // DefaultPathLoss returns the paper's sub-urban model: n = 2.32, d0 = 40 m,
@@ -49,42 +49,42 @@ func (pl PathLoss) Validate() error {
 // MeanLossDB returns the deterministic (shadowing-free) path loss in dB at
 // distance d metres. Distances below the reference distance clamp to it, so
 // co-located nodes see the reference loss rather than a negative loss.
-func (pl PathLoss) MeanLossDB(d float64) float64 {
+func (pl PathLoss) MeanLossDB(d Meters) DB {
 	if d < pl.RefDistM {
 		d = pl.RefDistM
 	}
-	return pl.RefLossDB + 10*pl.Exponent*math.Log10(d/pl.RefDistM)
+	return pl.RefLossDB + DB(10*pl.Exponent*math.Log10(float64(d)/float64(pl.RefDistM)))
 }
 
 // LossDB returns the path loss at distance d with one shadowing draw from r.
 // A nil r yields the mean loss.
-func (pl PathLoss) LossDB(d float64, r *rng.Source) float64 {
+func (pl PathLoss) LossDB(d Meters, r *rng.Source) DB {
 	loss := pl.MeanLossDB(d)
 	if r != nil && pl.ShadowSigmaDB > 0 {
-		loss += r.Norm(0, pl.ShadowSigmaDB)
+		loss += DB(r.Norm(0, float64(pl.ShadowSigmaDB)))
 	}
 	return loss
 }
 
 // RSSI returns the received signal strength in dBm for a transmit power of
-// txDBm at distance d, with one shadowing draw from r (nil r => mean).
-func (pl PathLoss) RSSI(txDBm, d float64, r *rng.Source) float64 {
-	return txDBm - pl.LossDB(d, r)
+// tx at distance d, with one shadowing draw from r (nil r => mean).
+func (pl PathLoss) RSSI(tx DBm, d Meters, r *rng.Source) DBm {
+	return tx.Minus(pl.LossDB(d, r))
 }
 
 // MeanRSSI returns the shadowing-free RSSI.
-func (pl PathLoss) MeanRSSI(txDBm, d float64) float64 {
-	return txDBm - pl.MeanLossDB(d)
+func (pl PathLoss) MeanRSSI(tx DBm, d Meters) DBm {
+	return tx.Minus(pl.MeanLossDB(d))
 }
 
 // RangeFor returns the distance in metres at which the mean RSSI drops to the
 // given sensitivity for the given transmit power: the mean communication
 // range. With the default model and 14 dBm / SF7 this is on the order of the
 // 1 km gateway range the paper assumes.
-func (pl PathLoss) RangeFor(txDBm, sensitivityDBm float64) float64 {
-	budget := txDBm - sensitivityDBm - pl.RefLossDB
+func (pl PathLoss) RangeFor(tx, sensitivity DBm) Meters {
+	budget := tx.Sub(sensitivity) - pl.RefLossDB
 	if budget <= 0 {
 		return pl.RefDistM
 	}
-	return pl.RefDistM * math.Pow(10, budget/(10*pl.Exponent))
+	return Meters(float64(pl.RefDistM) * math.Pow(10, float64(budget)/(10*pl.Exponent)))
 }

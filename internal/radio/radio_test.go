@@ -156,8 +156,8 @@ func TestPathLossValidation(t *testing.T) {
 
 func TestMeanLossMonotone(t *testing.T) {
 	pl := DefaultPathLoss()
-	prev := -math.MaxFloat64
-	for _, d := range []float64{1, 40, 100, 500, 1000, 5000, 20000} {
+	prev := DB(-math.MaxFloat64)
+	for _, d := range []Meters{1, 40, 100, 500, 1000, 5000, 20000} {
 		loss := pl.MeanLossDB(d)
 		if loss < prev {
 			t.Fatalf("loss decreased at %v m", d)
@@ -177,7 +177,7 @@ func TestRangeForRoundTrip(t *testing.T) {
 	pl := DefaultPathLoss()
 	r := pl.RangeFor(14, SF7.Sensitivity())
 	// At the computed range, mean RSSI equals sensitivity.
-	if got := pl.MeanRSSI(14, r); math.Abs(got-SF7.Sensitivity()) > 1e-6 {
+	if got := pl.MeanRSSI(14, r); math.Abs(float64(got.Sub(SF7.Sensitivity()))) > 1e-6 {
 		t.Fatalf("RSSI at RangeFor distance = %v, want %v", got, SF7.Sensitivity())
 	}
 	// The sub-urban model yields a mean SF7 range in the high hundreds of
@@ -202,7 +202,7 @@ func TestRSSIShadowingZeroSigmaDeterministic(t *testing.T) {
 	}
 }
 
-func newTestMedium(t *testing.T, maxRange float64) *Medium {
+func newTestMedium(t *testing.T, maxRange Meters) *Medium {
 	t.Helper()
 	loss := DefaultPathLoss()
 	loss.ShadowSigmaDB = 0 // deterministic for tests
@@ -344,7 +344,7 @@ func TestQuickAirtimeBounds(t *testing.T) {
 func TestQuickRSSIMonotone(t *testing.T) {
 	pl := DefaultPathLoss()
 	f := func(a, b uint16) bool {
-		da, db := float64(a)+1, float64(b)+1
+		da, db := Meters(a)+1, Meters(b)+1
 		if da > db {
 			da, db = db, da
 		}

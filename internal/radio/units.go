@@ -1,0 +1,46 @@
+package radio
+
+// This file defines the named unit types the radio-math packages (radio,
+// lorawan, mac, core) use for link-budget arithmetic. All four are plain
+// float64 underneath — adopting them changes no emitted number anywhere —
+// but they let the compiler and the unitlint analyzer (internal/analysis)
+// reject dimensionally meaningless expressions at review time: adding two
+// absolute power levels, mixing a dB margin into a metre distance, or
+// casting an RSSI straight into an SNR without going through the noise
+// floor.
+//
+// The unit algebra unitlint enforces:
+//
+//	DBm  + DB   = DBm   (offset an absolute level by a gain/loss: DBm.Plus)
+//	DBm  - DB   = DBm   (apply a loss: DBm.Minus)
+//	DBm  - DBm  = DB    (difference of two levels: DBm.Sub)
+//	DBm  + DBm  —       meaningless, flagged
+//	DB   ± DB   = DB    (plain Go arithmetic)
+//	T1(x) where x is a different unit type — flagged; convert through
+//	float64 only at package boundaries, with a comment saying why.
+
+// DBm is an absolute power level in decibel-milliwatts: transmit powers,
+// RSSI values, sensitivities, noise floors.
+type DBm float64
+
+// DB is a relative level in decibels: gains, losses, margins, SNRs.
+type DB float64
+
+// Meters is a distance in metres.
+type Meters float64
+
+// Hz is a frequency or bandwidth in hertz.
+type Hz float64
+
+// Plus offsets an absolute level by a relative gain (negative gains are
+// losses): the only sanctioned way to add a dB quantity to a dBm one.
+func (x DBm) Plus(g DB) DBm { return DBm(float64(x) + float64(g)) }
+
+// Minus applies a relative loss to an absolute level: tx power minus path
+// loss yields RSSI.
+func (x DBm) Minus(l DB) DBm { return DBm(float64(x) - float64(l)) }
+
+// Sub returns the relative difference between two absolute levels: RSSI
+// minus noise floor yields SNR, RSSI minus interferer RSSI yields the
+// capture margin.
+func (x DBm) Sub(y DBm) DB { return DB(float64(x) - float64(y)) }
