@@ -410,3 +410,28 @@ func BenchmarkFullDayRun(b *testing.B) {
 	}
 	b.ReportMetric(float64(delivered), "delivered")
 }
+
+// benchFullDayShards is BenchmarkFullDayRun on the sharded event kernel:
+// the same full-scale day, partitioned into n spatial tiles with one kernel
+// goroutine each. The n=1 bench measures the sharded engine's intrinsic
+// overhead (windowed merge, keyed draws) against BenchmarkFullDayRun; the
+// n=2/4/8 benches measure intra-run scaling. Results are bit-identical for
+// every n — the delivered metric must match across the whole family.
+func benchFullDayShards(b *testing.B, n int) {
+	if testing.Short() {
+		b.Skip("full-day run takes tens of seconds; skipped under -short")
+	}
+	var delivered int
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultConfig()
+		cfg.Scheme = routing.SchemeROBC
+		cfg.Shards = n
+		delivered = runBench(b, cfg).Delivered
+	}
+	b.ReportMetric(float64(delivered), "delivered")
+}
+
+func BenchmarkFullDayRunShards1(b *testing.B) { benchFullDayShards(b, 1) }
+func BenchmarkFullDayRunShards2(b *testing.B) { benchFullDayShards(b, 2) }
+func BenchmarkFullDayRunShards4(b *testing.B) { benchFullDayShards(b, 4) }
+func BenchmarkFullDayRunShards8(b *testing.B) { benchFullDayShards(b, 8) }

@@ -1,0 +1,123 @@
+package eventsim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardPoolRunsAllShards checks every shard sees every phase exactly
+// once per Run, for both the inline single-shard path and real goroutines.
+func TestShardPoolRunsAllShards(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		var counts [8]atomic.Int64
+		p := NewPool(k, func(phase, shard int) {
+			counts[shard].Add(int64(phase))
+		})
+		for phase := 1; phase <= 3; phase++ {
+			p.Run(phase)
+		}
+		p.Close()
+		for s := 0; s < k; s++ {
+			if got := counts[s].Load(); got != 6 {
+				t.Fatalf("k=%d shard %d phase sum = %d, want 6", k, s, got)
+			}
+		}
+		for s := k; s < len(counts); s++ {
+			if counts[s].Load() != 0 {
+				t.Fatalf("k=%d shard %d ran but should not exist", k, s)
+			}
+		}
+	}
+}
+
+// TestShardPoolBarrier proves Run is a full barrier: work done by shards in
+// phase n is visible to all shards in phase n+1 without extra locking.
+func TestShardPoolBarrier(t *testing.T) {
+	const k = 4
+	const rounds = 200
+	buf := make([]int, k)
+	var mismatch atomic.Int64
+	p := NewPool(k, func(phase, shard int) {
+		if phase%2 == 0 {
+			buf[shard] = phase // each shard writes its own slot
+			return
+		}
+		// Odd phases read every slot written in the previous phase.
+		for s := 0; s < k; s++ {
+			if buf[s] != phase-1 {
+				mismatch.Add(1)
+			}
+		}
+	})
+	defer p.Close()
+	for phase := 0; phase < rounds; phase++ {
+		p.Run(phase)
+	}
+	if n := mismatch.Load(); n != 0 {
+		t.Fatalf("%d stale reads across the barrier", n)
+	}
+}
+
+// TestShardPoolRunAllocs pins the steady-state barrier cost at zero heap
+// allocations per Run for both the inline and goroutine-backed paths.
+func TestShardPoolRunAllocs(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		var sink atomic.Int64
+		p := NewPool(k, func(phase, shard int) { sink.Add(1) })
+		p.Run(0) // warm up
+		allocs := testing.AllocsPerRun(100, func() { p.Run(1) })
+		p.Close()
+		if allocs != 0 {
+			t.Fatalf("k=%d: Run allocates %.1f per barrier, want 0", k, allocs)
+		}
+	}
+}
+
+// TestShardPoolGOMAXPROCS exercises the barrier under different scheduler
+// widths: with a single OS thread workers must still make progress (channel
+// sends park the coordinator), and with many threads the barrier must not
+// admit phase overlap.
+func TestShardPoolGOMAXPROCS(t *testing.T) {
+	for _, procs := range []int{1, 2, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		func() {
+			defer runtime.GOMAXPROCS(prev)
+			var inPhase atomic.Int64
+			var overlap atomic.Int64
+			p := NewPool(8, func(phase, shard int) {
+				if v := inPhase.Add(1); v > 8 {
+					overlap.Add(1)
+				}
+				inPhase.Add(-1)
+			})
+			defer p.Close()
+			for phase := 0; phase < 100; phase++ {
+				p.Run(phase)
+				if inPhase.Load() != 0 {
+					t.Fatalf("procs=%d: Run returned with %d shards still active", procs, inPhase.Load())
+				}
+			}
+			if overlap.Load() != 0 {
+				t.Fatalf("procs=%d: phases overlapped", procs)
+			}
+		}()
+	}
+}
+
+// TestShardPoolCloseIdempotent double-Close must not panic.
+func TestShardPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3, func(phase, shard int) {})
+	p.Run(0)
+	p.Close()
+	p.Close()
+
+	q := NewPool(1, func(phase, shard int) {})
+	q.Close() // inline pool: nothing to close
+	if q.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", q.Shards())
+	}
+	if p.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", p.Shards())
+	}
+}

@@ -139,6 +139,16 @@ type Config struct {
 	// fixed SF, fixed power, instant always-successful acks — which is the
 	// paper's setting; every existing figure is byte-identical under it.
 	MAC MACConfig
+
+	// Shards selects the execution engine. 0 (the zero value) runs the
+	// original single-threaded kernel, byte-identical to every committed
+	// golden. N ≥ 1 partitions the city into N spatial tiles and runs one
+	// event kernel per tile on its own goroutine, synchronised by
+	// conservative-lookahead windows; sharded results are bit-identical
+	// for every N and every tile boundary (Shards=1 is the reference),
+	// but intentionally distinct from the serial engine — see the README
+	// "Sharded runs" determinism contract.
+	Shards int
 }
 
 // MACConfig parameterises the ADR + confirmed-downlink subsystem. The zero
@@ -458,6 +468,9 @@ func (c *Config) Validate() error {
 	}
 	if err := c.MAC.validate(); err != nil {
 		return err
+	}
+	if c.Shards < 0 || c.Shards > 1024 {
+		return fmt.Errorf("experiment: Shards %d outside [0, 1024] (0 = serial engine)", c.Shards)
 	}
 	return nil
 }

@@ -1,0 +1,1043 @@
+package experiment
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"mlorass/internal/core"
+	"mlorass/internal/disruption"
+	"mlorass/internal/eventsim"
+	"mlorass/internal/geo"
+	"mlorass/internal/gwplan"
+	"mlorass/internal/lorawan"
+	"mlorass/internal/mac"
+	"mlorass/internal/mobility"
+	"mlorass/internal/netserver"
+	"mlorass/internal/radio"
+	"mlorass/internal/rng"
+	"mlorass/internal/routing"
+	"mlorass/internal/stats"
+	"mlorass/internal/telemetry"
+)
+
+// This file is the sharded execution engine (Config.Shards ≥ 1): the city is
+// partitioned into spatial tiles, each tile runs its own event kernel on its
+// own goroutine, and the tiles advance in lockstep through conservative
+// lookahead windows. Per window (W, W+L]:
+//
+//   phase A (parallel)  every tile applies its inbox (handover settlements,
+//                       downlink plans) and runs its kernel to the window
+//                       horizon H = W+L: slot ticks, duty retries, churn.
+//                       Transmissions begun are recorded in a per-tile
+//                       outbox instead of scheduling kernel resolutions.
+//   A/B barrier         the coordinator merges every tile's new
+//                       transmissions; each tile imports the foreign ones
+//                       into its radio-medium view (order-free: capture
+//                       takes a max over the interferer set).
+//   phase B (parallel)  each tile resolves its transmissions due by H in
+//                       (time, device, kind) order: gateway reception with
+//                       keyed shadowing draws, MAC requests, broadcast
+//                       records for receivers — all emitted to outboxes.
+//   B/C barrier         the coordinator feeds decoded frames to the ledger,
+//                       throughput series and delay histogram in intrinsic
+//                       (time, sender, seq) order, and replays MAC
+//                       operations against the one global ADR controller
+//                       and downlink scheduler; downlink plans route to
+//                       their device's tile for the next window.
+//   phase C (parallel)  each tile delivers the window's broadcasts to its
+//                       own devices in global (time, sender, seq) order:
+//                       handover reception and neighbour overhearing.
+//                       Failed handovers emit settlements routed back to
+//                       the sender's tile.
+//   C barrier           trace events merge-sort and emit; next window.
+//
+// Determinism contract: every cross-device random draw is keyed on
+// intrinsic identities (seed, sender, frame sequence, receiver) via
+// rng.Key*/rng.Seeded, every cross-tile merge is sorted by an intrinsic
+// total order, and every cross-device state read happens in a fixed phase —
+// so results are BIT-IDENTICAL for every shard count N ≥ 1, every tile
+// layout, and every GOMAXPROCS. They are intentionally distinct from the
+// serial engine (Shards = 0), whose sequential draw order cannot be
+// reproduced concurrently; the serial engine and all its goldens stay
+// untouched. Divergences are the window-quantised visibility of cross-event
+// state and the keyed (rather than sequential) draw streams — documented in
+// README "Sharded runs".
+//
+// Lookahead: L = 2 s, clamped to RX1Delay when the MAC is on, so a downlink
+// scheduled from window j (start ≥ uplinkEnd + RX1Delay ≥ W_j + L) is always
+// appliable at the start of window j+1 — no tile ever receives an event
+// earlier than its local clock (the causality counter, asserted zero by the
+// property tests). Duty-cycle retries that would land inside the already-run
+// window are clamped to the window grid and counted as lateRetries.
+
+// shardPhase* number the pool phases.
+const (
+	shardPhaseKernel = iota
+	shardPhaseResolve
+	shardPhaseDeliver
+)
+
+// resolve kinds, ordered: uplinks resolve before downlinks at equal instants.
+const (
+	rkUplink uint8 = iota
+	rkDownlink
+)
+
+// MAC coordinator-op kinds, ordered to match phase B execution order.
+const (
+	macOpUplink uint8 = iota
+	macOpReset
+)
+
+// txRec is one transmission begun this window, merged into every tile's
+// medium view at the A/B barrier.
+type txRec struct {
+	shard      int32
+	from       int
+	pos        geo.Point
+	pow        radio.DBm
+	start, end time.Duration
+}
+
+// bcastRec is one resolved device frame fanned out to receivers in phase C.
+// The message payload lives in the sender shard's window arena.
+type bcastRec struct {
+	at    time.Duration
+	from  int
+	seq   uint32
+	shard int32
+	// dest is the effective handover target (-1 when sink-addressed or
+	// preempted by a gateway decode); skip is the originally addressed
+	// device, excluded from overhearing either way (as in the serial
+	// engine's overhear loop).
+	dest        int
+	skip        int
+	pow         radio.DBm
+	pos         geo.Point
+	advRCAETX   float64
+	advQueueLen int
+	mStart, mEnd int32
+}
+
+// ingestRec is one gateway-decoded frame bound for the coordinator ledger.
+type ingestRec struct {
+	at           time.Duration
+	from         int
+	seq          uint32
+	gw           int
+	shard        int32
+	mStart, mEnd int32
+}
+
+// macOp is one MAC-plane operation replayed by the coordinator against the
+// global controller/scheduler in intrinsic (at, dev, kind) order.
+type macOp struct {
+	at     time.Duration
+	dev    int
+	kind   uint8
+	gw     int
+	snr    radio.DB
+	dr     lorawan.DataRate
+	powIdx int
+	timing netserver.RxTiming
+}
+
+// planRec is one committed downlink plan routed to the device's tile.
+type planRec struct {
+	dev    int
+	gw     int
+	start  time.Duration
+	air    time.Duration
+	ack    bool
+	cmd    lorawan.LinkADRReq
+	hasCmd bool
+}
+
+// settleRec reconciles a failed handover back onto the sender: the bundle
+// (still in the sender shard's arena) returns to its queue head at the next
+// window start.
+type settleRec struct {
+	at           time.Duration
+	sender       int
+	shard        int32
+	mStart, mEnd int32
+}
+
+// airRec carries one frame's airtime to the coordinator so the airtime
+// histogram accumulates as a single sorted stream (bitwise N-invariant).
+type airRec struct {
+	at  time.Duration
+	dev int
+	sec float64
+}
+
+// resolveRef is one pending transmission resolution on a tile.
+type resolveRef struct {
+	at   time.Duration
+	dev  *device
+	kind uint8
+}
+
+// shardDiag exposes engine internals to the test layer.
+type shardDiag struct {
+	// Windows is the number of lookahead windows executed.
+	Windows int
+	// Causality counts inbox events carrying a timestamp earlier than the
+	// receiving tile's local clock — always zero (property-tested).
+	Causality uint64
+	// LateRetries counts duty-cycle retries clamped to the window grid
+	// (benign quantisation, distinct from causality violations).
+	LateRetries uint64
+	// Lookahead is the window length used.
+	Lookahead time.Duration
+}
+
+// sharded is the engine: coordinator state plus one shard per tile.
+type sharded struct {
+	cfg    Config
+	k      int
+	lookahead time.Duration
+
+	fleet   *mobility.Fleet
+	gws     []geo.Point
+	policy  routing.Policy
+	phy     radio.PHYParams
+	link    core.LinkModel
+	gwCfg   core.GatewayConfig
+	retry   lorawan.RetryPolicy
+	devices []*device
+	owner   []int32
+	shards  []*shard
+	pool    *eventsim.Pool
+
+	contactCapacityPPS float64
+	d2dLoss            radio.PathLoss
+	overhearOn         bool
+
+	server     *netserver.Server
+	throughput *stats.TimeSeries
+	plan       *disruption.Plan
+	gatewayOutageWindows int
+	deviceFailures       int
+
+	// Coordinator-side telemetry: the delay stream, ledger counters and
+	// the trace sink all accumulate on one goroutine in sorted order.
+	rec      *telemetry.Recorder
+	tracer   *telemetry.Tracer
+	traceRun string
+
+	macOn      bool
+	confirmed  bool
+	adrOn      bool
+	phyByDR    [lorawan.NumDataRates]radio.PHYParams
+	dlAirTbl   [lorawan.NumDataRates][2]time.Duration
+	noiseFloor radio.DBm
+	gwTxPowDBm radio.DBm
+
+	// Intrinsic draw seeds (keyed draws only — no sequential streams).
+	gwShadowSeed uint64
+	d2dSeed      uint64
+	listenSeed   uint64
+
+	// Current window bounds, written by the coordinator between barriers.
+	windowStart time.Duration
+	horizon     time.Duration
+
+	// Merged per-window views (coordinator-written, shard-read).
+	windowTx    []txRec
+	windowBcast []bcastRec
+
+	// Coordinator scratch, reused across windows.
+	freshBuf  []ingestRec
+	airBuf    []airRec
+	macBuf    []macOp
+	settleBuf []settleRec
+	traceBuf  []telemetry.Event
+	coordTrace []telemetry.Event
+
+	windows int
+}
+
+// frameKey packs a transmission's intrinsic identity (sender, sequence)
+// into one key word. Gateway downlink senders are negative (-1-gw), which
+// maps to a distinct high word.
+//
+//mlorass:hotpath
+func frameKey(from int, seq uint32) uint64 {
+	return uint64(uint32(int32(from+1)))<<32 | uint64(seq)
+}
+
+// intrinsicMsgID numbers a device's messages independently of any global
+// event order: (device+1) in the high word, the device's own counter in the
+// low word.
+//
+//mlorass:hotpath
+func intrinsicMsgID(dev int, seq uint32) uint64 {
+	return uint64(dev+1)<<32 | uint64(seq)
+}
+
+// shardLookahead derives the conservative window length: 2 s of slack, or
+// the RX1 delay when the MAC is on so downlink plans from window j are
+// always in window j+1's future.
+func shardLookahead(cfg *Config) time.Duration {
+	l := 2 * time.Second
+	if cfg.MAC.Enabled() && cfg.MAC.RX1Delay < l {
+		l = cfg.MAC.RX1Delay
+	}
+	if l <= 0 {
+		l = time.Millisecond
+	}
+	return l
+}
+
+// defaultAssign partitions by vertical strips of the area: contiguous tiles
+// with balanced geometry, the natural fit for the paper's city square.
+func defaultAssign(area geo.Rect, k int) func(id int, home geo.Point) int {
+	w := area.Width()
+	return func(_ int, home geo.Point) int {
+		if w <= 0 || k <= 1 {
+			return 0
+		}
+		t := int(float64(k) * (home.X - area.Min.X) / w)
+		if t < 0 {
+			t = 0
+		}
+		if t >= k {
+			t = k - 1
+		}
+		return t
+	}
+}
+
+// runSharded executes cfg on the windowed sharded engine. assign overrides
+// the tile assignment (tests randomise it to prove layout invariance); nil
+// selects the default strip partition. The returned diagnostics back the
+// causality and equivalence test layer.
+func runSharded(cfg Config, assign func(id int, home geo.Point) int) (*Result, *shardDiag, error) {
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	k := cfg.Shards
+	if k < 1 {
+		k = 1
+	}
+
+	fleet, ds, err := buildFleet(&cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	area := cfg.area()
+	if ds != nil {
+		area = ds.Area
+	}
+	var gws []geo.Point
+	if cfg.GatewayStrategy == gwplan.RouteAware {
+		gws, err = gwplan.PlaceRouteAware(ds, cfg.NumGateways, cfg.GatewayRangeM)
+	} else {
+		gws, err = gwplan.Place(cfg.GatewayStrategy, area, cfg.NumGateways, cfg.Seed^0x9e37)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	policy, err := routing.New(cfg.Scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	phy := radio.DefaultPHY(cfg.SF)
+	fullFrame := lorawan.Frame{Messages: make([]lorawan.Message, lorawan.MaxBundle)}
+	fullAirtime := phy.Airtime(fullFrame.PayloadBytes())
+	cmaxPPS := cfg.DutyCycle / fullAirtime.Seconds()
+
+	loss := radio.DefaultPathLoss()
+	loss.ShadowSigmaDB = radio.DB(cfg.ShadowSigmaDB)
+
+	gwCfg := core.GatewayConfig{
+		Alpha:           cfg.Alpha,
+		Delta:           cfg.MsgInterval,
+		DefaultCapacity: cmaxPPS,
+		PhiMin:          1e-5,
+		PhiMax:          cmaxPPS,
+	}
+	if err := gwCfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	link := core.DefaultLinkModel(cmaxPPS)
+	link.GammaMinDBm = cfg.SF.Sensitivity()
+	if err := link.Validate(); err != nil {
+		return nil, nil, err
+	}
+	throughput, err := stats.NewTimeSeries(cfg.ThroughputBin, cfg.Duration)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	idxSpeed := fleet.MaxSpeedMPS()
+	if idxSpeed < 11 {
+		idxSpeed = 11
+	}
+
+	e := &sharded{
+		cfg:                cfg,
+		k:                  k,
+		lookahead:          shardLookahead(&cfg),
+		fleet:              fleet,
+		gws:                gws,
+		policy:             policy,
+		phy:                phy,
+		link:               link,
+		gwCfg:              gwCfg,
+		retry:              lorawan.DefaultRetryPolicy(),
+		server:             netserver.New(),
+		throughput:         throughput,
+		contactCapacityPPS: cmaxPPS,
+		d2dLoss:            loss,
+		overhearOn:         cfg.Scheme != routing.SchemeNoRouting,
+		gwShadowSeed:       cfg.Seed ^ 0x51ab,
+		d2dSeed:            cfg.Seed ^ 0x0d2d,
+		listenSeed:         cfg.Seed ^ 0x115e,
+	}
+	if !cfg.Telemetry.Disabled {
+		e.rec = telemetry.NewRecorder()
+	}
+	e.tracer = cfg.Telemetry.Trace
+	if e.tracer != nil {
+		e.traceRun = fmt.Sprintf("%s/%s/gw=%d/seed=%d",
+			cfg.Environment, cfg.Scheme, cfg.NumGateways, cfg.Seed)
+	}
+	if e.rec != nil || e.tracer != nil {
+		e.server.SetObserver(e)
+	}
+	if cfg.MAC.Enabled() {
+		if err := e.setupMAC(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if assign == nil {
+		assign = defaultAssign(area, k)
+	}
+	mediumCfg := radio.MediumConfig{
+		Loss:           loss,
+		SensitivityDBm: -1e9,
+		CaptureDB:      radio.DB(cfg.CaptureDB),
+		Seed:           cfg.Seed ^ 0x51ab,
+	}
+	e.shards = make([]*shard, k)
+	for i := 0; i < k; i++ {
+		medium, err := radio.NewMedium(mediumCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := &shard{
+			eng:    e,
+			idx:    i,
+			es:     eventsim.New(),
+			medium: medium,
+			ix:     newDevIndex(cfg.D2DRangeM, 30*time.Second, idxSpeed),
+		}
+		if !cfg.Telemetry.Disabled {
+			s.rec = telemetry.NewRecorder()
+		}
+		if e.tracer != nil && s.rec != nil {
+			s.es.SetProbe(s.rec)
+		}
+		s.posFn = func(id int) (geo.Point, bool) {
+			z := e.devices[id]
+			if p, ok := s.devPos(z, s.ixNow); ok {
+				return p, true
+			}
+			if sm, ok := z.node.(mobility.StaticModel); ok && !z.failed {
+				return sm.FixedPosition(), true
+			}
+			return geo.Point{}, false
+		}
+		e.shards[i] = s
+	}
+
+	if err := e.buildDevices(assign, area); err != nil {
+		return nil, nil, err
+	}
+	if err := e.scheduleDisruption(); err != nil {
+		return nil, nil, err
+	}
+
+	e.pool = eventsim.NewPool(k, e.phase)
+	if err := e.run(); err != nil {
+		return nil, nil, err
+	}
+	res, diag := e.collect()
+	return res, diag, nil
+}
+
+// setupMAC mirrors sim.setupMAC: the MAC control plane is global — one ADR
+// controller and one downlink scheduler on the coordinator, driven in
+// intrinsic order by the windowed macOp stream.
+func (e *sharded) setupMAC() error {
+	e.macOn = true
+	e.confirmed = e.cfg.MAC.Confirmed
+	for dr := 0; dr < lorawan.NumDataRates; dr++ {
+		e.phyByDR[dr] = radio.DefaultPHY(lorawan.DataRate(dr).SF())
+		e.dlAirTbl[dr][0] = e.phyByDR[dr].Airtime(lorawan.DownlinkBytes(false))
+		e.dlAirTbl[dr][1] = e.phyByDR[dr].Airtime(lorawan.DownlinkBytes(true))
+	}
+	e.noiseFloor = radio.NoiseFloorDBm(e.phy.BandwidthHz)
+	e.gwTxPowDBm = radio.DBm(e.cfg.MAC.DownlinkTxPowerDBm)
+
+	var ctrl *mac.Controller
+	if e.cfg.MAC.ADR {
+		var err error
+		ctrl, err = mac.NewController(mac.ADRConfig{
+			MarginDB:   radio.DB(e.cfg.MAC.ADRMarginDB),
+			HistoryLen: e.cfg.MAC.ADRHistory,
+			StepDB:     3,
+			MinHistory: e.cfg.MAC.ADRMinHistory,
+		}, e.fleet.Len())
+		if err != nil {
+			return err
+		}
+	}
+	sched, err := mac.NewScheduler(len(e.gws), e.cfg.MAC.DownlinkDutyCycle)
+	if err != nil {
+		return err
+	}
+	e.server.AttachMAC(&netserver.MAC{ADR: ctrl, Sched: sched})
+	return nil
+}
+
+// buildDevices creates every device in id order (preserving the per-device
+// RNG split sequence for any tile layout), assigns tile ownership by home
+// position, and schedules activation/slot events on the owner's kernel.
+func (e *sharded) buildDevices(assign func(id int, home geo.Point) int, area geo.Rect) error {
+	cfg := &e.cfg
+	rootRNG := rng.New(cfg.Seed ^ 0xdee1)
+	n := e.fleet.Len()
+	e.devices = make([]*device, n)
+	e.owner = make([]int32, n)
+	for i := 0; i < n; i++ {
+		est, err := core.NewGatewayEstimator(e.gwCfg)
+		if err != nil {
+			return err
+		}
+		d := &device{
+			id:             i,
+			node:           e.fleet.Node(i),
+			cursor:         mobility.NewCursor(e.fleet.Node(i)),
+			queue:          lorawan.NewQueue(cfg.QueueMax),
+			est:            est,
+			duty:           lorawan.NewDutyGovernor(cfg.DutyCycle),
+			rnd:            rootRNG.Split(),
+			bundle:         make([]lorawan.Message, 0, lorawan.MaxBundle),
+			pendDest:       -1,
+			fwdTarget:      -1,
+			listenFraction: 1,
+			txPowDBm:       radio.DBm(cfg.TxPowerDBm),
+			flightStart:    -1,
+			flightEnd:      -1,
+			prevFlightSta:  -1,
+			prevFlightEnd:  -1,
+		}
+		e.devices[i] = d
+
+		ti := assign(i, e.homePos(d, area))
+		if ti < 0 {
+			ti = 0
+		}
+		if ti >= e.k {
+			ti = e.k - 1
+		}
+		e.owner[i] = int32(ti)
+		sh := e.shards[ti]
+		sh.owned = append(sh.owned, d)
+
+		if e.macOn {
+			joinSF := cfg.MAC.InitialSF
+			if joinSF == 0 {
+				joinSF = cfg.SF
+			}
+			dr0, _ := lorawan.DataRateForSF(joinSF)
+			d.dr = dr0
+			d.dlFn = func(end time.Duration) { sh.resolveDown(d, end) }
+			d.ackTimeoutFn = func(at time.Duration) { sh.ackTimeout(d, at) }
+		}
+		d.slotFn = func(now time.Duration) {
+			if d.failed {
+				return
+			}
+			sh.tick(d, now)
+			sh.scheduleTick(d, now+cfg.MsgInterval)
+		}
+		d.retryFn = func(later time.Duration) {
+			d.retryScheduled = false
+			sh.tryUplink(d, later)
+		}
+		// resolveFn is unused by the sharded engine (resolutions ride the
+		// phase B list, not the kernel), but kept non-nil for symmetry.
+		d.resolveFn = func(end time.Duration) { sh.resolveUp(d, end) }
+
+		start, end := d.node.Window()
+		if start >= cfg.Duration {
+			continue
+		}
+		jitter := time.Duration(d.rnd.Uniform(0, cfg.MsgInterval.Seconds()) * float64(time.Second))
+		first := start + jitter
+		if first >= end || first >= cfg.Duration {
+			continue
+		}
+		if _, err := sh.es.At(start, func(time.Duration) { sh.activate(d) }); err != nil {
+			return err
+		}
+		if end < cfg.Duration {
+			if _, err := sh.es.At(end, func(time.Duration) { sh.deactivate(d) }); err != nil {
+				return err
+			}
+		}
+		sh.scheduleTick(d, first)
+	}
+	return nil
+}
+
+// homePos is the device's tile-assignment anchor: its fixed position for
+// static models, its service-window start position for mobile ones.
+func (e *sharded) homePos(d *device, area geo.Rect) geo.Point {
+	if sm, ok := d.node.(mobility.StaticModel); ok {
+		return sm.FixedPosition()
+	}
+	start, _ := d.node.Window()
+	if p, ok := d.node.PositionAt(start); ok {
+		return p
+	}
+	return area.Center()
+}
+
+// scheduleDisruption compiles the plan. Gateway availability is looked up
+// intrinsically per instant (Plan.GatewayUp) instead of via mutable flags,
+// so tiles never share outage state; device churn schedules owner-tile
+// kernel events exactly like the serial engine.
+func (e *sharded) scheduleDisruption() error {
+	if !e.cfg.Disruption.Enabled() {
+		return nil
+	}
+	plan, err := disruption.Compile(e.cfg.Disruption, e.cfg.Seed^0xd15c, len(e.gws), len(e.devices), e.cfg.Duration)
+	if err != nil {
+		return err
+	}
+	e.plan = plan
+	e.gatewayOutageWindows = plan.OutageWindows()
+	for di, failAt := range plan.DeviceFailAt {
+		if failAt < 0 || failAt >= e.cfg.Duration {
+			continue
+		}
+		d := e.devices[di]
+		sh := e.shards[e.owner[di]]
+		e.deviceFailures++
+		if _, err := sh.es.At(failAt, func(time.Duration) {
+			d.failed = true
+			sh.deactivate(d)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gwUpAt reports gateway availability at an instant.
+//
+//mlorass:hotpath
+func (e *sharded) gwUpAt(gw int, at time.Duration) bool {
+	return e.plan == nil || e.plan.GatewayUp(gw, at)
+}
+
+// aliveAt reports whether the device has not yet churned out at an instant.
+//
+//mlorass:hotpath
+func (e *sharded) aliveAt(dev int, at time.Duration) bool {
+	return e.plan == nil || e.plan.DeviceAlive(dev, at)
+}
+
+// phase dispatches one pool phase on one shard.
+func (e *sharded) phase(ph, si int) {
+	s := e.shards[si]
+	switch ph {
+	case shardPhaseKernel:
+		s.runKernel()
+	case shardPhaseResolve:
+		s.runResolve()
+	case shardPhaseDeliver:
+		s.runDeliver()
+	}
+}
+
+// run drives the window loop.
+func (e *sharded) run() error {
+	defer e.pool.Close()
+	d := e.cfg.Duration
+	for w := time.Duration(0); w < d; {
+		h := w + e.lookahead
+		if h > d {
+			h = d
+		}
+		e.windowStart, e.horizon = w, h
+		e.windows++
+
+		e.pool.Run(shardPhaseKernel)
+		if err := e.firstErr(); err != nil {
+			return err
+		}
+		e.gatherTx()
+		e.pool.Run(shardPhaseResolve)
+		if err := e.firstErr(); err != nil {
+			return err
+		}
+		e.coordinate()
+		e.gatherBcast()
+		e.pool.Run(shardPhaseDeliver)
+		e.routeSettlements()
+		e.flushTrace()
+		w = h
+	}
+	return nil
+}
+
+func (e *sharded) firstErr() error {
+	for _, s := range e.shards {
+		if s.err != nil {
+			return s.err
+		}
+	}
+	return nil
+}
+
+// gatherTx merges the window's transmissions for the A/B barrier import.
+func (e *sharded) gatherTx() {
+	e.windowTx = e.windowTx[:0]
+	for _, s := range e.shards {
+		e.windowTx = append(e.windowTx, s.outTx...)
+	}
+}
+
+// gatherBcast merges and orders the window's broadcasts for phase C.
+func (e *sharded) gatherBcast() {
+	e.windowBcast = e.windowBcast[:0]
+	for _, s := range e.shards {
+		e.windowBcast = append(e.windowBcast, s.outBcast...)
+	}
+	slices.SortFunc(e.windowBcast, cmpBcast)
+}
+
+// coordinate runs the B/C barrier work: ledger ingest, the single-stream
+// airtime histogram, and the MAC control plane, all in intrinsic order.
+func (e *sharded) coordinate() {
+	e.freshBuf = e.freshBuf[:0]
+	for _, s := range e.shards {
+		e.freshBuf = append(e.freshBuf, s.outFresh...)
+	}
+	slices.SortFunc(e.freshBuf, cmpIngest)
+	for i := range e.freshBuf {
+		rec := &e.freshBuf[i]
+		msgs := e.shards[rec.shard].msgArena[rec.mStart:rec.mEnd]
+		fresh := e.server.Ingest(rec.at, rec.gw, msgs)
+		e.rec.AddServerFresh(fresh)
+		e.throughput.Record(rec.at, fresh)
+	}
+
+	e.airBuf = e.airBuf[:0]
+	for _, s := range e.shards {
+		e.airBuf = append(e.airBuf, s.outAir...)
+	}
+	slices.SortFunc(e.airBuf, cmpAir)
+	for i := range e.airBuf {
+		e.rec.ObserveAirtime(e.airBuf[i].sec)
+	}
+
+	if !e.macOn {
+		return
+	}
+	e.macBuf = e.macBuf[:0]
+	for _, s := range e.shards {
+		e.macBuf = append(e.macBuf, s.outMac...)
+	}
+	slices.SortFunc(e.macBuf, cmpMacOp)
+	m := e.server.MAC()
+	for i := range e.macBuf {
+		op := &e.macBuf[i]
+		if op.kind == macOpReset {
+			if m.ADR != nil {
+				m.ADR.Reset(op.dev)
+			}
+			continue
+		}
+		plan, ok := m.OnUplink(op.dev, op.gw, op.snr, op.dr, op.powIdx, e.confirmed, op.at, op.timing)
+		if !ok {
+			continue
+		}
+		sh := e.shards[e.owner[plan.Device]]
+		sh.inPlan = append(sh.inPlan, planRec{
+			dev:    plan.Device,
+			gw:     plan.Gateway,
+			start:  plan.Start,
+			air:    plan.AirTime,
+			ack:    plan.Ack,
+			cmd:    plan.Cmd,
+			hasCmd: plan.HasCmd,
+		})
+	}
+}
+
+// routeSettlements distributes failed-handover reconciliations to their
+// senders' tiles in intrinsic order.
+func (e *sharded) routeSettlements() {
+	e.settleBuf = e.settleBuf[:0]
+	for _, s := range e.shards {
+		e.settleBuf = append(e.settleBuf, s.outSettle...)
+	}
+	slices.SortFunc(e.settleBuf, cmpSettle)
+	for _, st := range e.settleBuf {
+		sh := e.shards[st.shard]
+		sh.inSettle = append(sh.inSettle, st)
+	}
+}
+
+// flushTrace merge-sorts the window's trace events and emits them.
+func (e *sharded) flushTrace() {
+	if e.tracer == nil {
+		e.coordTrace = e.coordTrace[:0]
+		return
+	}
+	e.traceBuf = e.traceBuf[:0]
+	for _, s := range e.shards {
+		e.traceBuf = append(e.traceBuf, s.outTrace...)
+	}
+	e.traceBuf = append(e.traceBuf, e.coordTrace...)
+	e.coordTrace = e.coordTrace[:0]
+	slices.SortStableFunc(e.traceBuf, cmpTrace)
+	for i := range e.traceBuf {
+		ev := e.traceBuf[i]
+		ev.Run = e.traceRun
+		e.tracer.Emit(ev)
+		e.rec.AddTraceEvent()
+	}
+}
+
+// Delivered implements netserver.Observer on the coordinator.
+func (e *sharded) Delivered(d netserver.Delivery) {
+	e.rec.ObserveDelay(d.Delay().Seconds())
+	if e.tracer.Sampled(d.MessageID) {
+		e.coordTrace = append(e.coordTrace, telemetry.Event{
+			T: d.Arrived, Kind: telemetry.KindDeliver, Msg: d.MessageID,
+			Dev: -1, Peer: -1, Gw: d.Gateway, Hops: d.Hops,
+			DelayS: d.Delay().Seconds(),
+		})
+	}
+}
+
+// Duplicate implements netserver.Observer on the coordinator.
+func (e *sharded) Duplicate(now time.Duration, gw int, m lorawan.Message) {
+	e.rec.AddServerDuplicate()
+	if e.tracer.Sampled(m.ID) {
+		e.coordTrace = append(e.coordTrace, telemetry.Event{
+			T: now, Kind: telemetry.KindDuplicate, Msg: m.ID,
+			Dev: -1, Peer: -1, Gw: gw, Hops: m.Hops + 1,
+		})
+	}
+}
+
+// collect mirrors sim.collect over the tile set.
+func (e *sharded) collect() (*Result, *shardDiag) {
+	r := &Result{
+		Config:     e.cfg,
+		Delivered:  e.server.Count(),
+		Duplicates: e.server.Duplicates(),
+		Throughput: e.throughput,
+	}
+	diag := &shardDiag{Windows: e.windows, Lookahead: e.lookahead}
+	var ms radio.MediumStats
+	for _, s := range e.shards {
+		st := s.medium.Stats()
+		ms.Transmissions += st.Transmissions
+		ms.Receptions += st.Receptions
+		ms.Collisions += st.Collisions
+		ms.BelowSensitivity += st.BelowSensitivity
+		ms.OutOfRange += st.OutOfRange
+		r.Generated += s.generated
+		r.HandoverAttempts += s.handoverAttempts
+		r.HandoverSuccesses += s.handoverSuccesses
+		r.HandoverMsgs += s.handoverMsgs
+		r.HandoverLostMsgs += s.handoverLostMsgs
+		diag.Causality += s.causality
+		diag.LateRetries += s.lateRetries
+		if e.macOn {
+			r.Downlinks += s.downlinks
+			r.DownlinkDeliveries += s.downlinkDeliveries
+			r.AckTimeouts += s.ackTimeouts
+			r.Retransmissions += s.retransmissions
+			r.ADRApplied += s.adrApplied
+		}
+	}
+	r.Medium = ms
+	if e.macOn {
+		if m := e.server.MAC(); m != nil {
+			r.ADRCommands = m.Commands
+			r.DownlinkDrops = m.Sched.Stats().Dropped
+		}
+	}
+	r.GatewayOutageWindows = e.gatewayOutageWindows
+	r.DeviceFailures = e.deviceFailures
+	for _, del := range e.server.Deliveries() {
+		r.Delay.AddDuration(del.Delay())
+		r.rawDelays = append(r.rawDelays, del.Delay().Seconds())
+		r.originDelivered = append(r.originDelivered, del.Origin)
+		r.Hops.Add(float64(del.Hops))
+		if del.Hops > 1 {
+			r.RelayedDelay.AddDuration(del.Delay())
+		} else {
+			r.DirectDelay.AddDuration(del.Delay())
+		}
+	}
+	for _, d := range e.devices {
+		r.QueueDrops += d.queue.Dropped()
+		if !d.everActive {
+			continue
+		}
+		r.ActiveDevices++
+		r.MsgSendsPerNode.Add(float64(d.msgSends))
+		r.FramesPerNode.Add(float64(d.framesSent))
+		r.RadioOnPerNode.AddDuration(d.energy.RadioOnTime())
+	}
+	if e.rec != nil {
+		snap := e.rec.Snapshot()
+		for _, s := range e.shards {
+			if s.rec != nil {
+				snap.Merge(s.rec.Snapshot())
+			}
+		}
+		r.Telemetry = snap
+		r.Telemetry.Counters.QueueDrops = r.QueueDrops
+		r.Telemetry.Counters.DownlinkDrops = r.DownlinkDrops
+		r.Telemetry.Counters.ADRCommands = r.ADRCommands
+	}
+	return r, diag
+}
+
+// Intrinsic total orders for the cross-tile merges. All comparators are
+// package-level capture-free functions so slices.SortFunc allocates nothing.
+
+func cmpResolveRef(a, b resolveRef) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.dev.id != b.dev.id {
+		return a.dev.id - b.dev.id
+	}
+	return int(a.kind) - int(b.kind)
+}
+
+func cmpBcast(a, b bcastRec) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.from != b.from {
+		return a.from - b.from
+	}
+	return int(a.seq) - int(b.seq)
+}
+
+func cmpIngest(a, b ingestRec) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.from != b.from {
+		return a.from - b.from
+	}
+	return int(a.seq) - int(b.seq)
+}
+
+func cmpMacOp(a, b macOp) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.dev != b.dev {
+		return a.dev - b.dev
+	}
+	return int(a.kind) - int(b.kind)
+}
+
+func cmpAir(a, b airRec) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	return a.dev - b.dev
+}
+
+func cmpSettle(a, b settleRec) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	return a.sender - b.sender
+}
+
+func traceRank(k telemetry.EventKind) int {
+	switch k {
+	case telemetry.KindGenerate:
+		return 0
+	case telemetry.KindRelay:
+		return 1
+	case telemetry.KindUplink:
+		return 2
+	case telemetry.KindDeliver:
+		return 3
+	case telemetry.KindDuplicate:
+		return 4
+	case telemetry.KindDrop:
+		return 5
+	}
+	return 6
+}
+
+func cmpTrace(a, b telemetry.Event) int {
+	if a.T != b.T {
+		if a.T < b.T {
+			return -1
+		}
+		return 1
+	}
+	if a.Msg != b.Msg {
+		if a.Msg < b.Msg {
+			return -1
+		}
+		return 1
+	}
+	if ra, rb := traceRank(a.Kind), traceRank(b.Kind); ra != rb {
+		return ra - rb
+	}
+	if a.Dev != b.Dev {
+		return a.Dev - b.Dev
+	}
+	if a.Peer != b.Peer {
+		return a.Peer - b.Peer
+	}
+	if a.Gw != b.Gw {
+		return a.Gw - b.Gw
+	}
+	return a.Hops - b.Hops
+}
