@@ -19,6 +19,7 @@ import (
 	"mlorass"
 	"mlorass/internal/experiment"
 	"mlorass/internal/gwplan"
+	"mlorass/internal/obs"
 	"mlorass/internal/routing"
 	"mlorass/internal/runstore"
 	"mlorass/internal/telemetry"
@@ -429,6 +430,63 @@ func benchFullDayShards(b *testing.B, n int) {
 		delivered = runBench(b, cfg).Delivered
 	}
 	b.ReportMetric(float64(delivered), "delivered")
+}
+
+// BenchmarkObsOverhead proves the observability layer's budget: the same
+// full-day sharded run with the live layer off (the shipped default — nil
+// Spans/Live, the pre-obs hot path) and on (a flight recorder sinking every
+// phase span plus a registry scraped at ~10 Hz, the `expsweep -listen` state).
+// The acceptance bar is on within 2% of off; compare the sub-benchmarks'
+// ns/op. Run with -benchtime 1x like BenchmarkFullDayRun.
+func BenchmarkObsOverhead(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-day run takes tens of seconds; skipped under -short")
+	}
+	base := func() experiment.Config {
+		cfg := experiment.DefaultConfig()
+		cfg.Scheme = routing.SchemeROBC
+		cfg.Shards = 2
+		return cfg
+	}
+	b.Run("off", func(b *testing.B) {
+		var delivered int
+		for i := 0; i < b.N; i++ {
+			delivered = runBench(b, base()).Delivered
+		}
+		b.ReportMetric(float64(delivered), "delivered")
+	})
+	b.Run("on", func(b *testing.B) {
+		var delivered int
+		for i := 0; i < b.N; i++ {
+			cfg := base()
+			reg := obs.NewRegistry()
+			flight := obs.NewFlightRecorder(0)
+			cfg.Telemetry.Live = reg
+			cfg.Telemetry.Spans = flight
+			stop := make(chan struct{})
+			scraped := make(chan struct{})
+			go func() {
+				defer close(scraped)
+				tick := time.NewTicker(100 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						_ = reg.Snapshot()
+					}
+				}
+			}()
+			delivered = runBench(b, cfg).Delivered
+			close(stop)
+			<-scraped
+			if flight.Recorded() == 0 {
+				b.Fatal("instrumented run recorded no spans")
+			}
+		}
+		b.ReportMetric(float64(delivered), "delivered")
+	})
 }
 
 func BenchmarkFullDayRunShards1(b *testing.B) { benchFullDayShards(b, 1) }

@@ -48,6 +48,16 @@
 //
 //	expsweep -fig 8 -quick -cpuprofile cpu.prof -memprofile mem.prof
 //	go tool pprof -top cpu.prof
+//
+// The observability layer adds -listen (serve a live HTML dashboard,
+// /metrics Prometheus exposition, /spans flight-recorder dump, and
+// /debug/pprof/* while the command runs), -progress (a single live status
+// line for the figure sweeps), and -spans (dump the phase-span ring as
+// JSONL on exit). See README "Observability":
+//
+//	expsweep -fig 8 -reps 5 -listen :9109    # watch at http://localhost:9109/
+//	expsweep -fig 8 -quick -progress         # terminal status line
+//	expsweep -fig 8 -quick -shards 4 -spans spans.jsonl
 package main
 
 import (
@@ -63,6 +73,7 @@ import (
 	"mlorass"
 	"mlorass/internal/experiment"
 	"mlorass/internal/gwplan"
+	"mlorass/internal/obs"
 	"mlorass/internal/routing"
 	"mlorass/internal/runstore"
 	"mlorass/internal/telemetry"
@@ -97,6 +108,9 @@ func run(args []string) (err error) {
 		confirmed   = fs.Bool("confirmed", false, "switch uplinks to confirmed traffic: downlink acks in RX1/RX2, retransmission backoff")
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file on clean exit")
+		listen      = fs.String("listen", "", "serve live observability on this address (host:port) while the command runs: / is an HTML dashboard, /metrics a Prometheus exposition, /spans the flight-recorder dump, /debug/pprof/* profiling")
+		progress    = fs.Bool("progress", false, "render the figure sweeps (figs 8/9/12/13) as one live status line on stderr instead of per-replication lines")
+		spansFile   = fs.String("spans", "", "dump the recorded phase spans as JSONL to this file on exit ('-' = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +135,19 @@ func run(args []string) (err error) {
 	}
 	if *traceFile == "" && *traceSample != 1 {
 		fmt.Fprintln(os.Stderr, "expsweep: note: -trace-sample has no effect without -trace")
+	}
+	switch *fig {
+	case "8", "9", "12", "13":
+	default:
+		if *progress {
+			return fmt.Errorf("-progress renders figure-sweep progress; -fig %s has no sweep cells (use figs 8/9/12/13)", *fig)
+		}
+	}
+	if *progress && *quiet {
+		return fmt.Errorf("-progress and -quiet are contradictory: one asks for a live status line, the other for silence")
+	}
+	if *spansFile != "" && *spansFile != "-" && *spansFile == *traceFile {
+		return fmt.Errorf("-spans and -trace both point at %q; the JSONL streams would interleave", *spansFile)
 	}
 
 	if *cpuprofile != "" {
@@ -219,8 +246,60 @@ func run(args []string) (err error) {
 		}()
 	}
 
+	// The observability layer: any of -listen/-progress/-spans turns on the
+	// flight recorder and the live-scrape registry (both reach the engines
+	// through runtime-only Telemetry fields that never touch the run-store
+	// key or the results).
+	var (
+		flight  *obs.FlightRecorder
+		metrics *obs.Registry
+		tracker *obs.SweepTracker
+	)
+	if *listen != "" || *progress || *spansFile != "" {
+		flight = obs.NewFlightRecorder(0)
+		metrics = obs.NewRegistry()
+		tracker = obs.NewSweepTracker()
+		base.Telemetry.Spans = flight
+		base.Telemetry.Live = metrics
+		// A panicking sweep dumps its last spans before dying.
+		defer flight.DumpOnPanic()
+	}
+	if *spansFile != "" {
+		w := io.Writer(os.Stderr)
+		if *spansFile != "-" {
+			f, ferr := os.Create(*spansFile)
+			if ferr != nil {
+				return fmt.Errorf("opening -spans file: %w", ferr)
+			}
+			w = f
+			defer func() {
+				if cerr := f.Close(); cerr != nil && err == nil {
+					err = fmt.Errorf("closing -spans file: %w", cerr)
+				}
+			}()
+		}
+		defer func() {
+			if err == nil {
+				if werr := flight.WriteJSONL(w); werr != nil {
+					err = fmt.Errorf("writing -spans: %w", werr)
+				}
+			}
+		}()
+	}
+	if *listen != "" {
+		srv := &obs.Server{Registry: metrics, Flight: flight, Sweep: tracker,
+			Title: "expsweep -fig " + *fig}
+		url, stopSrv, serr := srv.Start(*listen)
+		if serr != nil {
+			return serr
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "expsweep: observability at %s/ (metrics, spans, pprof)\n", url)
+	}
+
 	sw := sweeper{workers: *parallel, reps: *reps, quiet: *quiet,
-		store: store, percentiles: *percentiles}
+		store: store, percentiles: *percentiles,
+		figName: *fig, tracker: tracker, progress: *progress}
 
 	switch *fig {
 	case "7", "10", "11", "ablations":
@@ -358,6 +437,12 @@ type sweeper struct {
 	quiet       bool
 	store       *runstore.Store
 	percentiles bool
+	// Observability: figName labels the tracker, tracker (when non-nil)
+	// feeds the dashboard/metrics sweep gauges, progress switches the
+	// per-replication stderr lines to one live status line.
+	figName  string
+	tracker  *obs.SweepTracker
+	progress bool
 }
 
 func (sw sweeper) sweepFig(base experiment.Config, envs []experiment.Environment) error {
@@ -367,19 +452,33 @@ func (sw sweeper) sweepFig(base experiment.Config, envs []experiment.Environment
 		if sw.store != nil {
 			before = sw.store.Stats()
 		}
+		if sw.tracker != nil {
+			sw.tracker.Begin(fmt.Sprintf("fig %s %s", sw.figName, env), sw.workers)
+		}
 		var fn func(experiment.CellUpdate)
-		if !sw.quiet {
+		if sw.tracker != nil || !sw.quiet {
 			fn = func(u experiment.CellUpdate) {
-				from := ""
-				if u.Cached {
-					from = " (cached)"
+				sw.tracker.CellDone(u.Completed, u.Total, u.Cached, u.Result.Telemetry)
+				switch {
+				case sw.progress:
+					// One carriage-returned line, rewritten per cell.
+					fmt.Fprintf(os.Stderr, "\r\x1b[K%s", sw.tracker.Status().Line())
+				case !sw.quiet:
+					from := ""
+					if u.Cached {
+						from = " (cached)"
+					}
+					fmt.Fprintf(os.Stderr, "  [%3d/%3d] rep %d seed %d%s: %s\n",
+						u.Completed, u.Total, u.Rep, u.Seed, from, u.Result.String())
 				}
-				fmt.Fprintf(os.Stderr, "  [%3d/%3d] rep %d seed %d%s: %s\n",
-					u.Completed, u.Total, u.Rep, u.Seed, from, u.Result.String())
 			}
 		}
 		points, err := experiment.ParallelSweepFunc(base, env,
 			experiment.SweepOptions{Workers: sw.workers, Reps: sw.reps, Store: sw.store}, fn)
+		sw.tracker.Finish()
+		if sw.progress {
+			fmt.Fprintln(os.Stderr) // seal the status line
+		}
 		if err != nil {
 			return err
 		}

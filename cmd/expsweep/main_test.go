@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestFlagValidationErrors locks the satellite contract: every invalid flag
@@ -34,6 +38,9 @@ func TestFlagValidationErrors(t *testing.T) {
 		{"fig adr with -confirmed", []string{"-fig", "adr", "-confirmed"}, "-fig adr sweeps the MAC modes itself"},
 		{"negative shards", []string{"-shards", "-1"}, "-shards -1 outside [0, 1024]"},
 		{"huge shards", []string{"-shards", "4096"}, "-shards 4096 outside [0, 1024]"},
+		{"progress non-sweep fig", []string{"-fig", "7", "-progress"}, "has no sweep cells"},
+		{"progress with quiet", []string{"-fig", "8", "-progress", "-quiet"}, "contradictory"},
+		{"spans clashes with trace", []string{"-fig", "8", "-spans", "t.jsonl", "-trace", "t.jsonl"}, "would interleave"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -183,6 +190,144 @@ func TestProfileFlags(t *testing.T) {
 			t.Fatalf("profile %s is empty", p)
 		}
 	}
+}
+
+// TestBadSpansFileFails checks that an unwritable -spans path errors out
+// before any simulation starts, like -trace.
+func TestBadSpansFileFails(t *testing.T) {
+	err := run([]string{"-fig", "8", "-spans", filepath.Join(t.TempDir(), "missing", "s.jsonl")})
+	if err == nil {
+		t.Fatal("spans file in a missing directory accepted")
+	}
+	if !strings.Contains(err.Error(), "opening -spans file") {
+		t.Fatalf("error = %q", err)
+	}
+}
+
+// TestListenBadAddress checks that an unparseable -listen address fails fast
+// with the server's own error, before the sweep runs.
+func TestListenBadAddress(t *testing.T) {
+	err := run([]string{"-fig", "8", "-listen", "not-an-address:port"})
+	if err == nil {
+		t.Fatal("bogus -listen address accepted")
+	}
+	if !strings.Contains(err.Error(), "observability server") {
+		t.Fatalf("error = %q", err)
+	}
+}
+
+// TestListenPortInUse checks the port-collision path: -listen on an address
+// something else already holds errors out synchronously instead of sweeping
+// with a dead dashboard.
+func TestListenPortInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = run([]string{"-fig", "8", "-listen", ln.Addr().String()})
+	if err == nil {
+		t.Fatal("-listen on a busy port accepted")
+	}
+	if !strings.Contains(err.Error(), "observability server") {
+		t.Fatalf("error = %q", err)
+	}
+}
+
+// TestListenServesLiveSweep is the end-to-end face of the observability
+// tentpole: a real fig-8 sweep with -listen prints its URL, answers /metrics
+// with the core families and the sweep gauges while (or immediately after)
+// cells run, serves /spans, and still exits cleanly. Under -race this doubles
+// as the CLI-level mid-run scrape proof.
+func TestListenServesLiveSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick fig 8 sweep")
+	}
+	oldOut := os.Stdout
+	os.Stdout, _ = os.Open(os.DevNull)
+	defer func() { os.Stdout = oldOut }()
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldErr := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = oldErr }()
+
+	// Drain stderr continuously so the sweep can never block on the pipe,
+	// and hand the first observability line to the scraper.
+	urlCh := make(chan string, 1)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "observability at "); i >= 0 {
+				u := strings.TrimSpace(line[i+len("observability at "):])
+				u = strings.TrimSuffix(strings.Fields(u)[0], "/")
+				select {
+				case urlCh <- u:
+				default:
+				}
+			}
+		}
+	}()
+
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run([]string{"-fig", "8", "-quick", "-env", "urban",
+			"-listen", "127.0.0.1:0", "-quiet"})
+	}()
+
+	var base string
+	select {
+	case base = <-urlCh:
+	case err := <-runDone:
+		t.Fatalf("run finished (%v) without printing the observability URL", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("no observability URL on stderr after 30s")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"mlorass_messages_generated_total",
+		"mlorass_delay_seconds_bucket",
+		"mlorass_sweep_cells_total",
+		"mlorass_live_runs",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if dash := get("/"); !strings.Contains(dash, "expsweep -fig 8") {
+		t.Error("dashboard missing its title")
+	}
+	get("/spans")
+
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	<-drained
 }
 
 // TestProfileFlagBadPaths checks that profile files in missing directories

@@ -275,6 +275,18 @@ type TelemetryOptions struct {
 	// concurrency-safe and every event carries its run label. Tracing
 	// does not alter any measurement.
 	Trace *telemetry.Tracer
+	// Spans, when non-nil, receives wall-clock phase spans: per-window
+	// kernel/resolve/deliver and merge timings from the sharded engine,
+	// per-cell timings from ParallelSweep. Span timing lives entirely in
+	// the sink (internal/obs.FlightRecorder) — the engines never read the
+	// clock, so instrumentation cannot perturb results. Runtime-only:
+	// excluded from JSON artefacts and from the run-store key, like Trace.
+	Spans telemetry.SpanSink `json:"-"`
+	// Live, when non-nil, is handed each run's metric Recorder for the
+	// run's lifetime so an external scraper (internal/obs.Registry) can
+	// serve /metrics mid-run; Recorder snapshots are concurrency-safe.
+	// Runtime-only, like Spans.
+	Live telemetry.LiveAttacher `json:"-"`
 }
 
 // DefaultConfig returns the paper-shaped scenario at a laptop-runnable

@@ -9,6 +9,7 @@ import (
 
 	"mlorass/internal/routing"
 	"mlorass/internal/runstore"
+	"mlorass/internal/telemetry"
 )
 
 // SweepOptions configures ParallelSweep.
@@ -212,8 +213,29 @@ func ParallelSweep(base Config, env Environment, opts SweepOptions) ([]Aggregate
 	cached := make([]bool, len(jobs))
 	ji, err := runPool(len(jobs), workers,
 		func(i int) (*Result, error) {
-			res, hit, err := runThroughStore(opts.Store, jobs[i].cfg)
+			j := jobs[i]
+			sink := j.cfg.Telemetry.Spans
+			var tok telemetry.SpanToken
+			if sink != nil {
+				tok = sink.StartSpan()
+			}
+			res, hit, err := runThroughStore(opts.Store, j.cfg)
 			cached[i] = hit
+			if sink != nil && err == nil {
+				// One span per cell replication: wall time, whether the
+				// store served it (attr 1) or it was simulated (attr 0),
+				// and the cell identity. The label formats only on the
+				// instrumented path.
+				var attr int64
+				if hit {
+					attr = 1
+				}
+				c := cells[j.cell]
+				sink.EndSpan(telemetry.SpanEnd{
+					Token: tok, Name: "cell", Shard: i, At: j.cfg.Duration, Attr: attr,
+					Label: fmt.Sprintf("%v/%v/gw=%d/rep=%d", c.Environment, c.Scheme, c.Gateways, j.rep),
+				})
+			}
 			return res, err
 		},
 		func(i int, res *Result) {

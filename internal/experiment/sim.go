@@ -456,6 +456,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	if cfg.Telemetry.Live != nil && s.rec != nil {
+		// Publish the recorder for live scraping until Run returns; by
+		// then the kernel has quiesced, so the snapshot the detach folds
+		// into the scraper's cumulative base equals Result.Telemetry.
+		detach := cfg.Telemetry.Live.Attach(s.rec)
+		defer detach()
+	}
 	if err := s.es.RunUntil(cfg.Duration); err != nil {
 		return nil, err
 	}

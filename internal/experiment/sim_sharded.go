@@ -464,6 +464,20 @@ func runSharded(cfg Config, assign func(id int, home geo.Point) int) (*Result, *
 		return nil, nil, err
 	}
 
+	if live := cfg.Telemetry.Live; live != nil {
+		// Publish every recorder — coordinator (delay/airtime stream) and
+		// per-shard (tile-local counters) — for the run's duration; a
+		// scrape merges them exactly like collect() does at the end.
+		if e.rec != nil {
+			defer live.Attach(e.rec)()
+		}
+		for _, s := range e.shards {
+			if s.rec != nil {
+				defer live.Attach(s.rec)()
+			}
+		}
+	}
+
 	e.pool = eventsim.NewPool(k, e.phase)
 	if err := e.run(); err != nil {
 		return nil, nil, err
@@ -657,9 +671,17 @@ func (e *sharded) aliveAt(dev int, at time.Duration) bool {
 	return e.plan == nil || e.plan.DeviceAlive(dev, at)
 }
 
-// phase dispatches one pool phase on one shard.
+// phase dispatches one pool phase on one shard. With a span sink
+// configured, every dispatch is timed: the sink owns the clock, so the
+// engine stays determinism-lint clean, and the SpanEnd is a stack value
+// with constant-string names — no allocation per window.
 func (e *sharded) phase(ph, si int) {
 	s := e.shards[si]
+	sink := e.cfg.Telemetry.Spans
+	var tok telemetry.SpanToken
+	if sink != nil {
+		tok = sink.StartSpan()
+	}
 	switch ph {
 	case shardPhaseKernel:
 		s.runKernel()
@@ -668,6 +690,24 @@ func (e *sharded) phase(ph, si int) {
 	case shardPhaseDeliver:
 		s.runDeliver()
 	}
+	if sink == nil {
+		return
+	}
+	var name string
+	var attr int64
+	switch ph {
+	case shardPhaseKernel:
+		// Queue depth after the advance: how much future work the tile
+		// is carrying into the next window.
+		name, attr = "kernel", int64(s.es.QueueLen())
+	case shardPhaseResolve:
+		// Cross-tile import fan-out: every shard scans the window's full
+		// transmission set, so this is the replication cost driver.
+		name, attr = "resolve", int64(len(e.windowTx))
+	case shardPhaseDeliver:
+		name, attr = "deliver", int64(len(e.windowBcast))
+	}
+	sink.EndSpan(telemetry.SpanEnd{Token: tok, Name: name, Shard: si, At: e.windowStart, Attr: attr})
 }
 
 // run drives the window loop.
@@ -691,8 +731,20 @@ func (e *sharded) run() error {
 		if err := e.firstErr(); err != nil {
 			return err
 		}
+		sink := e.cfg.Telemetry.Spans
+		var tok telemetry.SpanToken
+		if sink != nil {
+			tok = sink.StartSpan()
+		}
 		e.coordinate()
 		e.gatherBcast()
+		if sink != nil {
+			// The coordinator's serial section; attr is the window's
+			// fresh-delivery count, the merge's output volume.
+			sink.EndSpan(telemetry.SpanEnd{
+				Token: tok, Name: "merge", Shard: -1, At: w, Attr: int64(len(e.freshBuf)),
+			})
+		}
 		e.pool.Run(shardPhaseDeliver)
 		e.routeSettlements()
 		e.flushTrace()

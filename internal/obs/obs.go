@@ -1,0 +1,87 @@
+// Package obs is the runtime observability layer: it turns the simulator's
+// in-process telemetry into things an operator can watch while a run or
+// sweep is still going — a Prometheus text-format /metrics exposition, a
+// bounded flight recorder of engine phase spans dumpable as JSONL, a live
+// sweep progress tracker, and an HTTP server with a self-refreshing HTML
+// dashboard plus pprof.
+//
+// obs sits strictly outside the deterministic simulation: it is the only
+// package on the instrumentation path allowed to read the wall clock (the
+// engine packages are determinism-linted), and every hook it implements is
+// declared in internal/telemetry so the engines never import it. All of it
+// is off by default — a zero-valued experiment.Config records nothing,
+// allocates nothing on the hot path, and produces byte-identical results.
+package obs
+
+import (
+	"sync"
+
+	"mlorass/internal/telemetry"
+)
+
+// Registry aggregates live telemetry across runs for scraping. Runs attach
+// their Recorder for the duration of the run (Registry implements
+// telemetry.LiveAttacher); Snapshot merges every completed run's final
+// telemetry with a live read of every attached recorder, so a scrape series
+// is monotonic across a whole sweep — cells starting and finishing never
+// make a counter regress.
+type Registry struct {
+	mu   sync.Mutex
+	base telemetry.Snapshot
+	live []*telemetry.Recorder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Attach implements telemetry.LiveAttacher: r's metrics become visible to
+// Snapshot until the returned detach runs, at which point r's final state is
+// folded into the cumulative base. Detach is idempotent.
+func (g *Registry) Attach(r *telemetry.Recorder) (detach func()) {
+	if g == nil || r == nil {
+		return func() {}
+	}
+	g.mu.Lock()
+	g.live = append(g.live, r)
+	g.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			for i, x := range g.live {
+				if x == r {
+					g.live = append(g.live[:i], g.live[i+1:]...)
+					break
+				}
+			}
+			g.base.Merge(r.Snapshot())
+		})
+	}
+}
+
+// Snapshot returns the registry's merged telemetry: every detached run's
+// final snapshot plus a live read of each attached recorder. Safe to call
+// at any time from any goroutine.
+func (g *Registry) Snapshot() telemetry.Snapshot {
+	if g == nil {
+		return telemetry.Snapshot{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.base
+	for _, r := range g.live {
+		s.Merge(r.Snapshot())
+	}
+	return s
+}
+
+// LiveRuns reports how many recorders are currently attached.
+func (g *Registry) LiveRuns() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.live)
+}

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlorass/internal/telemetry"
+)
+
+func TestRegistryAttachDetachMerge(t *testing.T) {
+	g := NewRegistry()
+	r1, r2 := telemetry.NewRecorder(), telemetry.NewRecorder()
+	d1 := g.Attach(r1)
+	d2 := g.Attach(r2)
+	if g.LiveRuns() != 2 {
+		t.Fatalf("LiveRuns = %d, want 2", g.LiveRuns())
+	}
+	r1.AddGenerated()
+	r1.ObserveDelay(1.5)
+	r2.AddGenerated()
+	r2.AddGenerated()
+
+	s := g.Snapshot()
+	if s.Counters.Generated != 3 {
+		t.Errorf("live Generated = %d, want 3", s.Counters.Generated)
+	}
+	d1()
+	d1() // idempotent
+	if g.LiveRuns() != 1 {
+		t.Fatalf("LiveRuns after detach = %d, want 1", g.LiveRuns())
+	}
+	// r1's final state is folded into the base: totals must not regress.
+	s = g.Snapshot()
+	if s.Counters.Generated != 3 || s.Delay.N() != 1 {
+		t.Errorf("post-detach snapshot = %d generated / %d delays, want 3 / 1",
+			s.Counters.Generated, s.Delay.N())
+	}
+	d2()
+	if got := g.Snapshot().Counters.Generated; got != 3 {
+		t.Errorf("final Generated = %d, want 3", got)
+	}
+	// Nil recorder attach is a no-op with a safe detach.
+	g.Attach(nil)()
+}
+
+// TestRegistryConcurrent scrapes while runs attach, record, and detach —
+// the sweep steady state under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	g := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := g.Snapshot()
+			if s.Counters.Generated < last {
+				t.Errorf("registry Generated regressed %d -> %d", last, s.Counters.Generated)
+				return
+			}
+			last = s.Counters.Generated
+		}
+	}()
+	const runs, per = 8, 500
+	for i := 0; i < runs; i++ {
+		r := telemetry.NewRecorder()
+		detach := g.Attach(r)
+		for j := 0; j < per; j++ {
+			r.AddGenerated()
+			r.ObserveDelay(0.25)
+		}
+		detach()
+	}
+	close(stop)
+	wg.Wait()
+	if got := g.Snapshot().Counters.Generated; got != runs*per {
+		t.Errorf("final Generated = %d, want %d", got, runs*per)
+	}
+}
+
+func endSpan(f *FlightRecorder, name string, shard int, attr int64, label string) {
+	tok := f.StartSpan()
+	f.EndSpan(telemetry.SpanEnd{Token: tok, Name: name, Shard: shard, At: time.Second, Attr: attr, Label: label})
+}
+
+func TestFlightRecorderRingAndTotals(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		endSpan(f, "kernel", i%2, int64(i), "")
+	}
+	if f.Recorded() != 10 {
+		t.Errorf("Recorded = %d, want 10", f.Recorded())
+	}
+	if f.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", f.Dropped())
+	}
+	spans := f.Spans(0)
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	// Oldest-first: the ring keeps the last four attrs 6,7,8,9.
+	for i, s := range spans {
+		if s.Attr != int64(6+i) {
+			t.Errorf("span %d attr = %d, want %d", i, s.Attr, 6+i)
+		}
+	}
+	if got := f.Spans(2); len(got) != 2 || got[1].Attr != 9 {
+		t.Errorf("Spans(2) = %+v, want the newest two", got)
+	}
+	totals := f.PhaseTotals()
+	if len(totals) != 2 {
+		t.Fatalf("got %d phase totals, want 2 (kernel shard 0/1)", len(totals))
+	}
+	// Totals survive eviction: 5 spans per shard despite a 4-slot ring.
+	for _, pt := range totals {
+		if pt.Name != "kernel" || pt.Count != 5 {
+			t.Errorf("total %+v, want kernel count 5", pt)
+		}
+		if pt.Max < pt.Total/5 {
+			t.Errorf("max %v below mean %v", pt.Max, pt.Total/5)
+		}
+	}
+	// Nil recorder: every method is a no-op.
+	var nilF *FlightRecorder
+	endSpan(nilF, "x", 0, 0, "")
+	if nilF.Spans(0) != nil || nilF.PhaseTotals() != nil || nilF.Recorded() != 0 {
+		t.Error("nil FlightRecorder is not a no-op")
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	f := NewFlightRecorder(8)
+	endSpan(f, "cell", 3, 1, "urban/robc/gw=4/rep=0")
+	endSpan(f, "merge", -1, 17, "")
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []SpanRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var s SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, s)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d spans, want 2", len(got))
+	}
+	if got[0].Label != "urban/robc/gw=4/rep=0" || got[0].Shard != 3 || got[0].Attr != 1 {
+		t.Errorf("cell span round-trip mismatch: %+v", got[0])
+	}
+	if got[1].Name != "merge" || got[1].Shard != -1 || got[1].SimNS != int64(time.Second) {
+		t.Errorf("merge span round-trip mismatch: %+v", got[1])
+	}
+}
+
+func TestSweepTrackerStatus(t *testing.T) {
+	tr := NewSweepTracker()
+	if st := tr.Status(); st.Active || st.Total != 0 {
+		t.Errorf("idle tracker status = %+v", st)
+	}
+	tr.Begin("fig 8 urban", 4)
+	snap := telemetry.Snapshot{}
+	snap.Delay.Add(2.0)
+	tr.CellDone(1, 10, false, snap)
+	tr.CellDone(2, 10, true, snap)
+	st := tr.Status()
+	if !st.Active || st.Done != 2 || st.Total != 10 || st.Cached != 1 {
+		t.Errorf("status = %+v, want active 2/10 with 1 cached", st)
+	}
+	if st.Running != 4 {
+		t.Errorf("Running = %d, want worker count 4", st.Running)
+	}
+	if st.DelayN != 2 || st.P50 <= 0 {
+		t.Errorf("pooled delay N=%d p50=%g, want 2 observations", st.DelayN, st.P50)
+	}
+	// Running clamps to remaining cells.
+	tr.CellDone(8, 10, false, telemetry.Snapshot{})
+	if st := tr.Status(); st.Running != 2 {
+		t.Errorf("Running = %d, want 2 (remaining)", st.Running)
+	}
+	tr.Finish()
+	st = tr.Status()
+	if st.Active || st.Running != 0 {
+		t.Errorf("finished status = %+v", st)
+	}
+	line := st.Line()
+	for _, want := range []string{"fig 8 urban", "8/10", "cached"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("status line %q missing %q", line, want)
+		}
+	}
+	// Nil tracker: no-ops and a zero status.
+	var nilT *SweepTracker
+	nilT.Begin("x", 1)
+	nilT.CellDone(1, 1, false, telemetry.Snapshot{})
+	nilT.Finish()
+	if st := nilT.Status(); st.Total != 0 {
+		t.Errorf("nil tracker status = %+v", st)
+	}
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	r := telemetry.NewRecorder()
+	detach := reg.Attach(r)
+	r.AddGenerated()
+	r.ObserveDelay(1.25)
+	detach()
+	flight := NewFlightRecorder(16)
+	endSpan(flight, "kernel", 0, 3, "")
+	endSpan(flight, "resolve", 0, 1, "")
+	endSpan(flight, "deliver", 0, 2, "")
+	endSpan(flight, "merge", -1, 5, "")
+	sweep := NewSweepTracker()
+	sweep.Begin("fig 8 urban", 2)
+	snap := telemetry.Snapshot{}
+	snap.Delay.Add(1.25)
+	sweep.CellDone(1, 6, true, snap)
+	srv := &Server{Registry: reg, Flight: flight, Sweep: sweep, Title: "expsweep -fig 8"}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"mlorass_messages_generated_total 1",
+		`mlorass_delay_seconds_bucket{le="+Inf"} 1`,
+		"mlorass_sweep_cells_total 6",
+		"mlorass_sweep_cells_done 1",
+		"mlorass_sweep_cells_cached 1",
+		`mlorass_phase_spans_total{phase="kernel",shard="0"} 1`,
+		`mlorass_phase_seconds_total{phase="merge",shard="-1"}`,
+		"mlorass_spans_recorded_total 4",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	spans := get(t, ts.URL+"/spans")
+	if n := strings.Count(strings.TrimSpace(spans), "\n") + 1; n != 4 {
+		t.Errorf("/spans has %d lines, want 4", n)
+	}
+	if !strings.Contains(spans, `"name":"merge"`) {
+		t.Error("/spans missing merge span")
+	}
+
+	dash := get(t, ts.URL+"/")
+	for _, want := range []string{
+		"expsweep -fig 8",
+		"fig 8 urban",
+		"1 / 6",          // cells done tile
+		"delay p50",      // percentile tiles
+		"kernel",         // phase legend + totals
+		"messages generated",
+		"prefers-color-scheme: dark",
+	} {
+		if !strings.Contains(dash, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(dash, "<script") {
+		t.Error("dashboard must not ship scripts")
+	}
+	if !strings.Contains(dash, `http-equiv="refresh"`) {
+		t.Error("dashboard is not self-refreshing")
+	}
+
+	if body := get(t, ts.URL+"/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline is empty")
+	}
+
+	resp, err := http.Get(ts.URL + "/nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nosuch = %s, want 404", resp.Status)
+	}
+}
+
+func TestServerStartPortInUse(t *testing.T) {
+	s := &Server{Registry: NewRegistry()}
+	url, stop, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if !strings.HasPrefix(url, "http://127.0.0.1:") {
+		t.Fatalf("url = %q", url)
+	}
+	// Second bind of the same port must fail synchronously.
+	addr := strings.TrimPrefix(url, "http://")
+	if _, _, err := (&Server{Registry: NewRegistry()}).Start(addr); err == nil {
+		t.Fatal("Start on a busy port succeeded")
+	}
+	// The served mux answers over the real listener too.
+	if body := get(t, url+"/metrics"); !strings.Contains(body, "mlorass_live_runs") {
+		t.Error("live server /metrics missing runtime families")
+	}
+}

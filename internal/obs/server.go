@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server wires the observability surfaces onto one HTTP mux:
+//
+//	/         self-refreshing HTML dashboard (no external assets)
+//	/metrics  Prometheus text exposition (telemetry + sweep + phase totals)
+//	/spans    flight-recorder ring dump as JSONL
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// Any of the three components may be nil; the corresponding sections are
+// simply empty.
+type Server struct {
+	Registry *Registry
+	Flight   *FlightRecorder
+	Sweep    *SweepTracker
+	// Title heads the dashboard (e.g. "expsweep -fig 8").
+	Title string
+}
+
+// Handler returns the mux serving every endpoint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.dashboard)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/spans", s.spans)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr and serves in the background. The listen happens
+// synchronously so address errors (bad syntax, port in use) surface
+// immediately; the returned stop closes the server and waits for the serve
+// loop to exit. url is the reachable base ("http://host:port").
+func (s *Server) Start(addr string) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("observability server: %w", err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = hs.Serve(ln)
+	}()
+	stop = func() {
+		_ = hs.Close()
+		<-done
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WriteSnapshot(w, s.Registry.Snapshot()); err != nil {
+		return
+	}
+	_ = writeRuntime(w, s.Registry, s.Flight, s.Sweep)
+}
+
+func (s *Server) spans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.Flight == nil {
+		return
+	}
+	_ = s.Flight.WriteJSONL(w)
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mlorass/internal/telemetry"
+)
+
+// SweepTracker follows one figure sweep as its cells land: counts, the
+// exactly-pooled delay histogram of every completed cell, and wall-clock
+// pacing. The CLI feeds it from experiment.ParallelSweep progress updates;
+// the dashboard and /metrics read it. A nil *SweepTracker reads as an
+// empty, inactive sweep.
+type SweepTracker struct {
+	mu      sync.Mutex
+	label   string
+	workers int
+	total   int
+	done    int
+	cached  int
+	delay   telemetry.Histogram
+	started time.Time
+	active  bool
+}
+
+// NewSweepTracker returns an idle tracker.
+func NewSweepTracker() *SweepTracker { return &SweepTracker{} }
+
+// Begin starts tracking a sweep of labelled work executed by the given
+// worker count. Counters reset; the pooled delay histogram carries over so
+// percentiles stay populated across a multi-environment sweep.
+func (t *SweepTracker) Begin(label string, workers int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.label = label
+	t.workers = workers
+	t.total, t.done, t.cached = 0, 0, 0
+	t.started = time.Now()
+	t.active = true
+}
+
+// CellDone records one completed cell and pools its delay histogram.
+func (t *SweepTracker) CellDone(completed, total int, cached bool, snap telemetry.Snapshot) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done, t.total = completed, total
+	if cached {
+		t.cached++
+	}
+	t.delay.Merge(&snap.Delay)
+}
+
+// Finish marks the sweep inactive (running count drops to zero).
+func (t *SweepTracker) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.active = false
+}
+
+// SweepStatus is one consistent reading of a tracker.
+type SweepStatus struct {
+	Label   string
+	Active  bool
+	Total   int
+	Done    int
+	Cached  int
+	Running int
+	// P50, P95, P99 are pooled delay percentiles in seconds over every
+	// completed cell so far.
+	P50, P95, P99 float64
+	// DelayN is the pooled observation count behind the percentiles.
+	DelayN  uint64
+	Elapsed time.Duration
+}
+
+// Status returns a consistent snapshot of the sweep.
+func (t *SweepTracker) Status() SweepStatus {
+	if t == nil {
+		return SweepStatus{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := SweepStatus{
+		Label:  t.label,
+		Active: t.active,
+		Total:  t.total,
+		Done:   t.done,
+		Cached: t.cached,
+		DelayN: t.delay.N(),
+		P50:    t.delay.Percentile(50),
+		P95:    t.delay.Percentile(95),
+		P99:    t.delay.Percentile(99),
+	}
+	if t.active {
+		st.Elapsed = time.Since(t.started)
+		if rem := t.total - t.done; t.total > 0 && rem > 0 {
+			st.Running = t.workers
+			if rem < st.Running {
+				st.Running = rem
+			}
+		}
+	}
+	return st
+}
+
+// Line renders the status as a one-line terminal progress report (the
+// expsweep -progress output).
+func (s SweepStatus) Line() string {
+	if s.Total == 0 {
+		return fmt.Sprintf("%s: starting", s.Label)
+	}
+	return fmt.Sprintf("%s: %d/%d cells (%d cached, %d running) delay p50/p95/p99 %.3g/%.3g/%.3g s [%s]",
+		s.Label, s.Done, s.Total, s.Cached, s.Running,
+		s.P50, s.P95, s.P99, s.Elapsed.Round(time.Second))
+}

@@ -201,6 +201,25 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100).
 func (h *Histogram) Percentile(p float64) float64 { return h.Quantile(p / 100) }
 
+// ForEachOctaveCum walks the histogram as cumulative counts at the layout's
+// power-of-two octave edges: fn is called once per edge from 2^histMinExp up
+// to 2^histMaxExp (histOctaves+1 calls) with the exact number of
+// observations ≤ that edge, then a final time with le = +Inf and the total.
+// This is the natural Prometheus-histogram projection of the fixed layout —
+// the edges are exact bucket boundaries, so no observation is re-binned.
+func (h *Histogram) ForEachOctaveCum(fn func(le float64, cum uint64)) {
+	cum := h.counts[histUnderflow]
+	fn(math.Ldexp(1, histMinExp), cum)
+	for o := 0; o < histOctaves; o++ {
+		for s := 0; s < histSubBuckets; s++ {
+			cum += h.counts[1+o*histSubBuckets+s]
+		}
+		fn(math.Ldexp(1, histMinExp+o+1), cum)
+	}
+	cum += h.counts[histOverflow]
+	fn(math.Inf(1), cum)
+}
+
 // histogramJSON is the wire form of a Histogram: sparse (index, count) pairs
 // plus the exact moments, so stored artefacts survive layout-preserving code
 // changes and stay compact.

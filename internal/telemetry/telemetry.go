@@ -11,7 +11,11 @@
 // histograms into one exact population histogram for p50/p95/p99 columns.
 package telemetry
 
-import "time"
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
 
 // Counters are the hot-path event tallies of one simulation run. Fields are
 // plain uint64s incremented by a single goroutine (each run owns its
@@ -122,16 +126,119 @@ func (s SFCounts) MeanSF() float64 {
 
 // Recorder accumulates one run's metrics. A nil *Recorder is a valid no-op
 // recorder: every method checks the receiver, so instrumented call sites stay
-// branch-cheap when telemetry is disabled. Not safe for concurrent use; each
-// simulation (worker) owns its own.
+// branch-cheap when telemetry is disabled.
+//
+// Concurrency contract: exactly one goroutine (the simulation that owns the
+// recorder) may record; any number of goroutines may call Snapshot at any
+// time — a live /metrics scrape never tears a counter. Internally every word
+// is atomic, and the single-writer discipline means recording needs no
+// read-modify-write loops. A Snapshot taken mid-run may straddle an
+// in-flight observation (histogram bucket sums can briefly lead the moment
+// fields); a Snapshot taken after the run quiesces is exact, which is what
+// keeps golden results bit-identical.
 type Recorder struct {
-	counters Counters
+	c atomicCounters
 	// delay buckets end-to-end delays of delivered messages in seconds.
-	delay Histogram
+	delay liveHist
 	// airtime buckets transmitted frames' time-on-air in seconds.
-	airtime Histogram
+	airtime liveHist
 	// sf tallies uplink frames per spreading factor.
-	sf SFCounts
+	sf [6]atomic.Uint64
+}
+
+// atomicCounters mirrors Counters field-for-field with atomic words, so one
+// writer can keep counting while scrapers read. DownlinkDrops and ADRCommands
+// have no Add method (they are folded in from subsystem totals after the
+// run), matching the plain Counters behaviour.
+type atomicCounters struct {
+	generated          atomic.Uint64
+	framesOnAir        atomic.Uint64
+	uplinkDeliveries   atomic.Uint64
+	serverFresh        atomic.Uint64
+	serverDuplicates   atomic.Uint64
+	relayHops          atomic.Uint64
+	queueDrops         atomic.Uint64
+	kernelEvents       atomic.Uint64
+	traceEvents        atomic.Uint64
+	downlinks          atomic.Uint64
+	downlinkDeliveries atomic.Uint64
+	ackTimeouts        atomic.Uint64
+	retransmissions    atomic.Uint64
+	adrApplied         atomic.Uint64
+}
+
+func (a *atomicCounters) snapshot() Counters {
+	return Counters{
+		Generated:          a.generated.Load(),
+		FramesOnAir:        a.framesOnAir.Load(),
+		UplinkDeliveries:   a.uplinkDeliveries.Load(),
+		ServerFresh:        a.serverFresh.Load(),
+		ServerDuplicates:   a.serverDuplicates.Load(),
+		RelayHops:          a.relayHops.Load(),
+		QueueDrops:         a.queueDrops.Load(),
+		KernelEvents:       a.kernelEvents.Load(),
+		TraceEvents:        a.traceEvents.Load(),
+		Downlinks:          a.downlinks.Load(),
+		DownlinkDeliveries: a.downlinkDeliveries.Load(),
+		AckTimeouts:        a.ackTimeouts.Load(),
+		Retransmissions:    a.retransmissions.Load(),
+		ADRApplied:         a.adrApplied.Load(),
+	}
+}
+
+// liveHist is the Recorder-internal writer side of a Histogram: the same
+// fixed layout with every word atomic. The single writer stores the moment
+// fields with plain load/op/store (no CAS needed) and publishes n last, so a
+// reader that observes n > 0 always sees initialised min/max. Bucket counts
+// use atomic adds; a mid-run snapshot may count an in-flight observation in
+// a bucket before it reaches sum — self-consistent and strictly monotonic,
+// and exact once the writer quiesces.
+type liveHist struct {
+	counts  [histBuckets]atomic.Uint64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	n       atomic.Uint64
+}
+
+func (h *liveHist) add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		h.minBits.Store(math.Float64bits(v))
+		h.maxBits.Store(math.Float64bits(v))
+	} else {
+		if v < math.Float64frombits(h.minBits.Load()) {
+			h.minBits.Store(math.Float64bits(v))
+		}
+		if v > math.Float64frombits(h.maxBits.Load()) {
+			h.maxBits.Store(math.Float64bits(v))
+		}
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sumBits.Store(math.Float64bits(math.Float64frombits(h.sumBits.Load()) + v))
+	h.n.Store(n + 1)
+}
+
+// snapshot converts the live state to a plain Histogram. The count total is
+// summed from the buckets (not the published n) so the snapshot's buckets
+// always account for every counted observation.
+func (h *liveHist) snapshot() Histogram {
+	var out Histogram
+	if h.n.Load() == 0 {
+		return out
+	}
+	out.min = math.Float64frombits(h.minBits.Load())
+	out.max = math.Float64frombits(h.maxBits.Load())
+	out.sum = math.Float64frombits(h.sumBits.Load())
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		out.counts[i] = c
+		out.n += c
+	}
+	return out
 }
 
 // NewRecorder returns an empty recorder.
@@ -140,56 +247,56 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // AddGenerated counts one generated application message.
 func (r *Recorder) AddGenerated() {
 	if r != nil {
-		r.counters.Generated++
+		r.c.generated.Add(1)
 	}
 }
 
 // AddFrame counts one transmitted frame.
 func (r *Recorder) AddFrame() {
 	if r != nil {
-		r.counters.FramesOnAir++
+		r.c.framesOnAir.Add(1)
 	}
 }
 
 // AddUplinkDelivery counts one frame decoded by a gateway.
 func (r *Recorder) AddUplinkDelivery() {
 	if r != nil {
-		r.counters.UplinkDeliveries++
+		r.c.uplinkDeliveries.Add(1)
 	}
 }
 
 // AddServerFresh counts n messages newly accepted by the server.
 func (r *Recorder) AddServerFresh(n int) {
 	if r != nil {
-		r.counters.ServerFresh += uint64(n)
+		r.c.serverFresh.Add(uint64(n))
 	}
 }
 
 // AddServerDuplicate counts one deduplicated copy.
 func (r *Recorder) AddServerDuplicate() {
 	if r != nil {
-		r.counters.ServerDuplicates++
+		r.c.serverDuplicates.Add(1)
 	}
 }
 
 // AddRelayHops counts n messages moved by a successful handover.
 func (r *Recorder) AddRelayHops(n int) {
 	if r != nil {
-		r.counters.RelayHops += uint64(n)
+		r.c.relayHops.Add(uint64(n))
 	}
 }
 
 // AddQueueDrop counts one message dropped by a full queue.
 func (r *Recorder) AddQueueDrop() {
 	if r != nil {
-		r.counters.QueueDrops++
+		r.c.queueDrops.Add(1)
 	}
 }
 
 // AddKernelEvent counts one executed kernel event (eventsim probe).
 func (r *Recorder) AddKernelEvent() {
 	if r != nil {
-		r.counters.KernelEvents++
+		r.c.kernelEvents.Add(1)
 	}
 }
 
@@ -200,50 +307,50 @@ func (r *Recorder) OnEvent(time.Duration) { r.AddKernelEvent() }
 // AddTraceEvent counts one emitted trace record.
 func (r *Recorder) AddTraceEvent() {
 	if r != nil {
-		r.counters.TraceEvents++
+		r.c.traceEvents.Add(1)
 	}
 }
 
 // AddDownlink counts one gateway downlink frame transmitted.
 func (r *Recorder) AddDownlink() {
 	if r != nil {
-		r.counters.Downlinks++
+		r.c.downlinks.Add(1)
 	}
 }
 
 // AddDownlinkDelivery counts one downlink decoded by its device.
 func (r *Recorder) AddDownlinkDelivery() {
 	if r != nil {
-		r.counters.DownlinkDeliveries++
+		r.c.downlinkDeliveries.Add(1)
 	}
 }
 
 // AddAckTimeout counts one confirmed uplink whose ack never arrived.
 func (r *Recorder) AddAckTimeout() {
 	if r != nil {
-		r.counters.AckTimeouts++
+		r.c.ackTimeouts.Add(1)
 	}
 }
 
 // AddRetransmission counts one confirmed-uplink retransmission.
 func (r *Recorder) AddRetransmission() {
 	if r != nil {
-		r.counters.Retransmissions++
+		r.c.retransmissions.Add(1)
 	}
 }
 
 // AddADRApplied counts one LinkADRReq received and applied by a device.
 func (r *Recorder) AddADRApplied() {
 	if r != nil {
-		r.counters.ADRApplied++
+		r.c.adrApplied.Add(1)
 	}
 }
 
 // AddUplinkSF counts one uplink frame transmitted at the given spreading
-// factor (7..12).
+// factor (7..12); out-of-range values are ignored.
 func (r *Recorder) AddUplinkSF(sf int) {
-	if r != nil {
-		r.sf.Add(sf)
+	if r != nil && sf >= 7 && sf <= 12 {
+		r.sf[sf-7].Add(1)
 	}
 }
 
@@ -252,7 +359,7 @@ func (r *Recorder) ObserveDelay(seconds float64) {
 	if r == nil {
 		return
 	}
-	r.delay.Add(seconds)
+	r.delay.add(seconds)
 }
 
 // ObserveAirtime records one transmitted frame's time-on-air in seconds.
@@ -260,15 +367,25 @@ func (r *Recorder) ObserveAirtime(seconds float64) {
 	if r == nil {
 		return
 	}
-	r.airtime.Add(seconds)
+	r.airtime.add(seconds)
 }
 
 // Snapshot returns a copy of the recorder's state (zero Snapshot when nil).
+// Safe to call from any goroutine while the owning simulation is still
+// recording; see the Recorder concurrency contract.
 func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	return Snapshot{Counters: r.counters, Delay: r.delay, Airtime: r.airtime, SF: r.sf}
+	s := Snapshot{
+		Counters: r.c.snapshot(),
+		Delay:    r.delay.snapshot(),
+		Airtime:  r.airtime.snapshot(),
+	}
+	for i := range r.sf {
+		s.SF[i] = r.sf[i].Load()
+	}
+	return s
 }
 
 // Snapshot is one run's immutable telemetry: counters plus the delay and
