@@ -487,26 +487,7 @@ func (sw sweeper) sweepFig(base experiment.Config, envs []experiment.Environment
 			fmt.Fprintf(os.Stderr, "expsweep: store %s: %d loaded, %d simulated and persisted\n",
 				sw.store.Dir(), st.Hits-before.Hits, st.Puts-before.Puts)
 		}
-		fmt.Println(experiment.Fig8AggTable(points))
-		if sw.percentiles {
-			fmt.Println(experiment.Fig8PercentilesAggTable(points))
-		}
-		if sw.reps > 1 {
-			fmt.Println("(the matched-coverage table below uses replication 0 only: it needs raw per-delivery samples, not aggregates)")
-		}
-		fmt.Println(experiment.Fig8MatchedTable(repPoints(points, 0)))
-		fmt.Println(experiment.Fig9AggTable(points))
-		fmt.Println(experiment.Fig12AggTable(points))
-		fmt.Println(experiment.Fig13AggTable(points))
-		fmt.Println("overhead ratios vs NoRouting (paper: 1.6-2.2x):")
-		ratios := experiment.OverheadRatiosAgg(points)
-		for _, gw := range experiment.GatewaySweep() {
-			if m, ok := ratios[gw]; ok {
-				fmt.Printf("  gw=%3d  RCA-ETX %.2fx  ROBC %.2fx\n",
-					gw, m[routing.SchemeRCAETX], m[routing.SchemeROBC])
-			}
-		}
-		fmt.Println()
+		experiment.RenderFigureTables(os.Stdout, points, sw.reps, sw.percentiles)
 	}
 	return nil
 }
@@ -543,22 +524,6 @@ func (sw sweeper) adr(base experiment.Config, envs []experiment.Environment) err
 		fmt.Println(experiment.ADRTable(points))
 	}
 	return nil
-}
-
-// repPoints projects one replication of an aggregate sweep onto the classic
-// single-seed SweepPoint shape (for the matched-coverage table, which needs
-// raw per-delivery samples rather than cross-replication aggregates).
-func repPoints(points []experiment.AggregatePoint, rep int) []experiment.SweepPoint {
-	out := make([]experiment.SweepPoint, len(points))
-	for i, p := range points {
-		out[i] = experiment.SweepPoint{
-			Environment: p.Environment,
-			Scheme:      p.Scheme,
-			Gateways:    p.Gateways,
-			Result:      p.Reps[rep],
-		}
-	}
-	return out
 }
 
 func series(base experiment.Config, env experiment.Environment) error {

@@ -1,0 +1,274 @@
+// Command sweepd runs the figure sweeps (figs 8/9/12/13) through the
+// crash-tolerant sweep farm: cells are handed to workers under expiring
+// leases, artefacts flow through the run store's atomic-write path, failed
+// or lost attempts are retried with exponential backoff, and cells that fail
+// every attempt are quarantined and reported as explicit gaps — the sweep
+// always terminates, and nothing is ever silently zeroed.
+//
+// sweepd's stdout is byte-identical to expsweep's for the same flags: both
+// enumerate the same cell grid, derive the same store keys, and print
+// through the same table renderer. The farm adds what expsweep's in-process
+// pool cannot: worker crashes, lost messages and torn writes do not lose the
+// sweep (see README "Sweep farm").
+//
+// Usage:
+//
+//	sweepd -fig 8 -quick -workers 4                  # in-process farm
+//	sweepd -fig 8 -reps 5 -store .runcache           # resumable: re-run after a crash
+//	sweepd -fig 8 -quick -listen :9109 -progress     # live lease/retry dashboard
+//	sweepd -fig 8 -lease-ttl 10s -attempts 6         # lease tuning
+//
+// With -store, a killed sweepd (or a crashed machine) loses nothing: the
+// next invocation recovers every persisted cell from the store and computes
+// only the remainder. Without -store, artefacts travel inline and a restart
+// recomputes from scratch — the single-machine degradation mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mlorass/internal/experiment"
+	"mlorass/internal/obs"
+	"mlorass/internal/runstore"
+	"mlorass/internal/sweepfarm"
+	"mlorass/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	var (
+		fig         = fs.String("fig", "8", "figure sweep to run: 8 | 9 | 12 | 13 (all four print the same table block)")
+		envName     = fs.String("env", "both", "environment: urban | rural | both")
+		seed        = fs.Uint64("seed", 1, "random seed (replications derive theirs from it)")
+		quick       = fs.Bool("quick", false, "reduced scale (shorter horizon, smaller fleet)")
+		quiet       = fs.Bool("quiet", false, "suppress per-cell progress lines")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "farm worker count")
+		reps        = fs.Int("reps", 1, "replications per sweep cell; tables report mean ± 95% CI")
+		storeDir    = fs.String("store", "", "run-artifact store directory: the farm's durable state — cells already stored are recovered instead of re-simulated, and a killed sweep resumes from here")
+		percentiles = fs.Bool("percentiles", false, "also print pooled p50/p95/p99 delay columns")
+		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "cell lease lifetime between heartbeats; an expired lease re-queues its cell")
+		attempts    = fs.Int("attempts", 4, "failed attempts (errors, corrupt artefacts, expired leases) before a cell is quarantined")
+		backoff     = fs.Duration("backoff", 250*time.Millisecond, "base of the exponential retry backoff")
+		inflight    = fs.Int("inflight", 2, "max cells in flight per worker (lease cap and compute concurrency)")
+		listen      = fs.String("listen", "", "serve live observability on this address while the sweep runs: dashboard with per-worker lease/retry/quarantine tiles, /metrics, /spans, /debug/pprof/*")
+		progress    = fs.Bool("progress", false, "render the sweep as one live status line on stderr instead of per-cell lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected positional arguments %q (all options are flags)", fs.Args())
+	}
+	switch *fig {
+	case "8", "9", "12", "13":
+	default:
+		return fmt.Errorf("unknown figure %q (sweepd runs the figure sweeps: 8 | 9 | 12 | 13)", *fig)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers %d must be at least 1", *workers)
+	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d must be at least 1", *reps)
+	}
+	if *attempts < 1 {
+		return fmt.Errorf("-attempts %d must be at least 1", *attempts)
+	}
+	if *inflight < 1 {
+		return fmt.Errorf("-inflight %d must be at least 1", *inflight)
+	}
+	if *progress && *quiet {
+		return fmt.Errorf("-progress and -quiet are contradictory: one asks for a live status line, the other for silence")
+	}
+
+	base := experiment.DefaultConfig()
+	if *quick {
+		base = experiment.QuickConfig()
+	}
+	base.Seed = *seed
+
+	envs, err := parseEnvs(*envName)
+	if err != nil {
+		return err
+	}
+
+	var store *runstore.Store
+	if *storeDir != "" {
+		store, err = runstore.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+	}
+
+	tracker := obs.NewSweepTracker()
+	if *listen != "" {
+		srv := &obs.Server{Registry: obs.NewRegistry(), Flight: obs.NewFlightRecorder(0),
+			Sweep: tracker, Title: "sweepd -fig " + *fig}
+		url, stopSrv, serr := srv.Start(*listen)
+		if serr != nil {
+			return serr
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "sweepd: observability at %s/ (metrics, spans, pprof)\n", url)
+	}
+
+	for _, env := range envs {
+		if err := sweepEnv(base, env, store, tracker, sweepOpts{
+			fig: *fig, workers: *workers, reps: *reps,
+			quiet: *quiet, progress: *progress, percentiles: *percentiles,
+			lease: sweepfarm.LeaseConfig{
+				TTL:          *leaseTTL,
+				MaxAttempts:  *attempts,
+				BackoffBase:  *backoff,
+				MaxPerWorker: *inflight,
+				Seed:         base.Seed,
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type sweepOpts struct {
+	fig         string
+	workers     int
+	reps        int
+	quiet       bool
+	progress    bool
+	percentiles bool
+	lease       sweepfarm.LeaseConfig
+}
+
+// sweepEnv runs one environment's figure grid through the farm and prints
+// the table block (and, when cells were lost to quarantine, the gap report).
+func sweepEnv(base experiment.Config, env experiment.Environment, store *runstore.Store,
+	tracker *obs.SweepTracker, o sweepOpts) error {
+
+	var before runstore.Stats
+	if store != nil {
+		before = store.Stats()
+	}
+	tracker.Begin(fmt.Sprintf("fig %s %s", o.fig, env), o.workers)
+
+	fsweep := experiment.NewFarmSweep(base, env, o.reps)
+	cells := fsweep.Cells()
+	var artifacts sweepfarm.ArtifactStore
+	if store != nil {
+		artifacts = store
+	} else {
+		// No durable store: artefacts travel inline in completion messages.
+		for i := range cells {
+			cells[i].Key = ""
+		}
+	}
+
+	// The coordinator emits events (and runs Absorb) under its lock, so the
+	// handler below is single-threaded: lastSnap set by OnResult is consumed
+	// by the Done event that immediately follows the same absorption.
+	var lastSnap telemetry.Snapshot
+	recovered := 0
+	fsweep.OnResult = func(res *experiment.Result) { lastSnap = res.Telemetry }
+	events := func(e sweepfarm.Event) {
+		switch e.Kind {
+		case sweepfarm.EventLeased:
+			tracker.FarmLeased(e.Worker)
+		case sweepfarm.EventDone:
+			tracker.FarmSettled(e.Worker)
+			tracker.CellDone(e.Done, e.Total, e.Cached, lastSnap)
+			lastSnap = telemetry.Snapshot{}
+			if e.Cached {
+				recovered++
+			}
+		case sweepfarm.EventDuplicate:
+			tracker.FarmSettled(e.Worker)
+			tracker.FarmDuplicate()
+		case sweepfarm.EventRetry:
+			tracker.FarmSettled(e.Worker)
+			tracker.FarmRetry(e.Expired)
+		case sweepfarm.EventQuarantined:
+			tracker.FarmSettled(e.Worker)
+			tracker.FarmQuarantined()
+		}
+		switch {
+		case o.progress:
+			fmt.Fprintf(os.Stderr, "\r\x1b[K%s", tracker.Status().Line())
+		case o.quiet:
+		case e.Kind == sweepfarm.EventDone:
+			from := ""
+			if e.Cached {
+				from = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s%s (%s)\n", e.Done, e.Total, e.Cell.Label, from, workerName(e.Worker))
+		case e.Kind == sweepfarm.EventRetry:
+			fmt.Fprintf(os.Stderr, "  retry %s attempt %d (%s): %s\n", e.Cell.Label, e.Attempt, workerName(e.Worker), e.Err)
+		case e.Kind == sweepfarm.EventQuarantined:
+			fmt.Fprintf(os.Stderr, "  QUARANTINED %s after %d attempts: %s\n", e.Cell.Label, e.Attempt, e.Err)
+		}
+	}
+
+	farm, err := sweepfarm.New(cells, fsweep.Run, artifacts, nil, sweepfarm.FarmConfig{
+		Workers: o.workers,
+		Worker:  sweepfarm.WorkerConfig{Concurrency: o.lease.MaxPerWorker},
+		Lease:   o.lease,
+		Verify:  fsweep.Verify,
+		Absorb:  fsweep.Absorb,
+		Events:  events,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := farm.Run()
+	for i := 0; i < rep.Crashes; i++ {
+		tracker.FarmCrash()
+	}
+	tracker.Finish()
+	if o.progress {
+		fmt.Fprintln(os.Stderr) // seal the status line
+	}
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "sweepd: store %s: %d recovered, %d simulated and persisted\n",
+			store.Dir(), recovered, st.Puts-before.Puts)
+	}
+	experiment.RenderFigureTables(os.Stdout, fsweep.Points(), o.reps, o.percentiles)
+	if gaps := rep.Gaps(); gaps != "" {
+		// The explicit gap contract: a sweep missing cells says so on
+		// stdout, right under the tables it could not fill.
+		fmt.Print(gaps)
+	}
+	return nil
+}
+
+func workerName(w string) string {
+	if w == "" {
+		return "store"
+	}
+	return w
+}
+
+func parseEnvs(name string) ([]experiment.Environment, error) {
+	switch name {
+	case "urban":
+		return []experiment.Environment{experiment.Urban}, nil
+	case "rural":
+		return []experiment.Environment{experiment.Rural}, nil
+	case "both":
+		return []experiment.Environment{experiment.Urban, experiment.Rural}, nil
+	default:
+		return nil, fmt.Errorf("unknown environment %q", name)
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-fig", "7"}, "unknown figure"},
+		{[]string{"positional"}, "unexpected positional"},
+		{[]string{"-workers", "0"}, "-workers"},
+		{[]string{"-reps", "0"}, "-reps"},
+		{[]string{"-attempts", "0"}, "-attempts"},
+		{[]string{"-inflight", "0"}, "-inflight"},
+		{[]string{"-progress", "-quiet"}, "contradictory"},
+		{[]string{"-env", "lunar"}, "unknown environment"},
+	} {
+		err := run(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestParseEnvs(t *testing.T) {
+	if envs, err := parseEnvs("both"); err != nil || len(envs) != 2 {
+		t.Fatalf("both: %v %v", envs, err)
+	}
+	if envs, err := parseEnvs("urban"); err != nil || len(envs) != 1 {
+		t.Fatalf("urban: %v %v", envs, err)
+	}
+	if envs, err := parseEnvs("rural"); err != nil || len(envs) != 1 {
+		t.Fatalf("rural: %v %v", envs, err)
+	}
+	if _, err := parseEnvs("mars"); err == nil {
+		t.Fatal("mars: want error")
+	}
+}
+
+func TestWorkerName(t *testing.T) {
+	if workerName("") != "store" || workerName("w3") != "w3" {
+		t.Fatal("workerName mapping broken")
+	}
+}
+
+// TestRunQuickSweep drives the real farm end to end through the CLI entry
+// point — a quick urban grid with a store, run twice so both the compute
+// path and the recover-from-store path execute, and the tables must agree
+// byte for byte. (The byte-identity claim against expsweep lives in CI,
+// where both binaries exist.)
+func TestRunQuickSweep(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-fig", "8", "-quick", "-env", "urban", "-seed", "1",
+		"-workers", "4", "-quiet", "-store", filepath.Join(dir, "store")}
+
+	capture := func() string {
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		got := make(chan []byte)
+		go func() {
+			var buf strings.Builder
+			b := make([]byte, 4096)
+			for {
+				n, err := r.Read(b)
+				buf.Write(b[:n])
+				if err != nil {
+					break
+				}
+			}
+			got <- []byte(buf.String())
+		}()
+		runErr := run(args)
+		w.Close()
+		os.Stdout = old
+		out := <-got
+		r.Close()
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return string(out)
+	}
+
+	first := capture()
+	if !strings.Contains(first, "gw") {
+		t.Fatalf("first run printed no tables:\n%s", first)
+	}
+	second := capture()
+	if first != second {
+		t.Fatal("resumed run's tables differ from the first run's")
+	}
+}

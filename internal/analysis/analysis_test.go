@@ -100,6 +100,14 @@ func TestDetLintFixture(t *testing.T) {
 	runFixture(t, "detfix", []*Analyzer{DetLint})
 }
 
+// TestDetLintClockFixture pins the clock-confinement scope: in a farm
+// package, wall-clock and timer calls outside the injected Clock are
+// findings, while multi-way selects and map-ordered bookkeeping — forbidden
+// in simulation packages — produce none.
+func TestDetLintClockFixture(t *testing.T) {
+	runFixture(t, "clockfix", []*Analyzer{DetLint})
+}
+
 func TestHotPathLintFixture(t *testing.T) {
 	runFixture(t, "hotfix", []*Analyzer{HotPathLint})
 }

@@ -21,15 +21,36 @@ var simPackages = map[string]bool{
 	"telemetry":  true,
 }
 
+// clockPackages names the packages under clock confinement: code here is
+// concurrent by design (multi-way selects and map-ordered bookkeeping are
+// fine) but must reach wall time only through its injected Clock interface,
+// or the fault-injection harness's fake clocks stop covering the real code
+// paths. The one wallClock implementation behind the interface carries a
+// lint:ignore directive — which these rules keep honest, because a stale
+// directive is itself a finding.
+var clockPackages = map[string]bool{
+	"sweepfarm":   true,
+	"faultinject": true,
+}
+
+// clockFuncs are the time-package calls that touch the wall clock or the
+// runtime timer wheel — everything a Clock implementation must wrap.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true,
+}
+
 // DetLint flags nondeterminism sources in simulation packages.
 var DetLint = &Analyzer{
 	Name: "detlint",
-	Doc:  "forbid wall-clock, global math/rand, map-ordered results and multi-way selects in simulation packages",
+	Doc:  "forbid wall-clock, global math/rand, map-ordered results and multi-way selects in simulation packages; confine farm packages to their injected Clock",
 	Run:  runDetLint,
 }
 
 func runDetLint(p *Pass) error {
-	if !simPackages[p.Pkg.Name()] {
+	sim, clocked := simPackages[p.Pkg.Name()], clockPackages[p.Pkg.Name()]
+	if !sim && !clocked {
 		return nil
 	}
 	for _, f := range p.Files {
@@ -38,16 +59,21 @@ func runDetLint(p *Pass) error {
 			case *ast.SelectorExpr:
 				switch selectorPkgPath(p.TypesInfo, n) {
 				case "time":
-					if n.Sel.Name == "Now" || n.Sel.Name == "Since" || n.Sel.Name == "Until" {
+					switch {
+					case sim && (n.Sel.Name == "Now" || n.Sel.Name == "Since" || n.Sel.Name == "Until"):
 						p.Reportf(n.Pos(), "time.%s reads the wall clock; simulation time is the event queue's clock", n.Sel.Name)
+					case clocked && clockFuncs[n.Sel.Name]:
+						p.Reportf(n.Pos(), "time.%s bypasses the injected Clock; the fault harness cannot script it", n.Sel.Name)
 					}
 				case "math/rand", "math/rand/v2":
 					p.Reportf(n.Pos(), "math/rand is not seed-reproducible across runs; use internal/rng")
 				}
 			case *ast.RangeStmt:
-				checkMapRange(p, f, n)
+				if sim {
+					checkMapRange(p, f, n)
+				}
 			case *ast.SelectStmt:
-				if commCases(n) > 1 {
+				if sim && commCases(n) > 1 {
 					p.Reportf(n.Pos(), "select over multiple channels resolves in runtime-chosen order; simulation control flow must be single-channel")
 				}
 			}

@@ -1,0 +1,64 @@
+// Package sweepfarm (fixture) exercises the clock-confinement scope: wall
+// time and timers must flow through the package's injected Clock, while the
+// concurrency idioms the simulation scope forbids — multi-way selects,
+// map-ordered bookkeeping — stay legal here.
+package sweepfarm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Deadline reads the wall clock directly instead of a Clock.
+func Deadline(ttl time.Duration) time.Time {
+	return time.Now().Add(ttl) // want "time.Now bypasses the injected Clock"
+}
+
+// Age measures elapsed wall time directly.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since bypasses the injected Clock"
+}
+
+// Wait sleeps on the runtime timer wheel instead of Clock.After.
+func Wait(d time.Duration) {
+	time.Sleep(d) // want "time.Sleep bypasses the injected Clock"
+}
+
+// Tick builds a timer channel the fake clock cannot drive.
+func Tick(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "time.After bypasses the injected Clock"
+}
+
+// Jitter draws from the global stream instead of internal/rng.
+func Jitter() float64 {
+	return rand.Float64() // want "math/rand is not seed-reproducible"
+}
+
+// wallNow is the one legitimate wall-clock touchpoint: the production Clock
+// implementation, suppressed with a reasoned directive the analyzer keeps
+// honest (a stale directive is itself a finding).
+func wallNow() time.Time {
+	//lint:ignore detlint the wall-clock implementation behind the Clock interface
+	return time.Now()
+}
+
+// Pump is a two-way select: runtime-ordered, and fine — worker loops
+// multiplex cancellation against work by design.
+func Pump(work <-chan int, stop <-chan struct{}) int {
+	select {
+	case v := <-work:
+		return v
+	case <-stop:
+		return 0
+	}
+}
+
+// Collect ranges a map into a slice: order-dependent, and fine — farm
+// bookkeeping is not a simulation result.
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFarmSweepDuplicateAbsorb locks the farm adapter's exactly-once merge:
+// absorbing every cell artefact a second time — as duplicate completions or
+// a restarted coordinator's recovery replay would — changes neither the
+// aggregates nor the rendered tables, and the duplicate never reaches
+// OnResult.
+func TestFarmSweepDuplicateAbsorb(t *testing.T) {
+	base := sweepTestConfig()
+	ref, err := ParallelSweep(base, Urban, SweepOptions{Workers: 4, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fsweep := NewFarmSweep(base, Urban, 1)
+	results := 0
+	fsweep.OnResult = func(*Result) { results++ }
+	cells := fsweep.Cells()
+	artefacts := make([][]byte, len(cells))
+	for i, c := range cells {
+		data, err := fsweep.Run(c)
+		if err != nil {
+			t.Fatalf("cell %d (%s): %v", i, c.Label, err)
+		}
+		artefacts[i] = data
+		if err := fsweep.Absorb(c, data); err != nil {
+			t.Fatalf("absorb cell %d: %v", i, err)
+		}
+	}
+	if results != len(cells) {
+		t.Fatalf("OnResult fired %d times for %d cells", results, len(cells))
+	}
+	once := fsweep.Points()
+
+	// Replay every artefact, in reverse arrival order for good measure.
+	for i := len(cells) - 1; i >= 0; i-- {
+		if err := fsweep.Absorb(cells[i], artefacts[i]); err != nil {
+			t.Fatalf("duplicate absorb cell %d: %v", i, err)
+		}
+	}
+	if results != len(cells) {
+		t.Fatalf("duplicate absorption reached OnResult: %d calls for %d cells", results, len(cells))
+	}
+	twice := fsweep.Points()
+	if !reflect.DeepEqual(once, twice) {
+		t.Fatal("duplicate absorption changed the aggregates")
+	}
+
+	// And the farm's aggregates match the in-process pool's, cell for cell.
+	if len(twice) != len(ref) {
+		t.Fatalf("cell counts differ: farm %d vs pool %d", len(twice), len(ref))
+	}
+	for i := range ref {
+		if !reflect.DeepEqual(ref[i].Agg, twice[i].Agg) {
+			t.Fatalf("cell %d aggregates differ:\n pool %+v\n farm %+v", i, ref[i].Agg, twice[i].Agg)
+		}
+	}
+	for _, render := range []func([]AggregatePoint) string{
+		Fig8AggTable, Fig9AggTable, Fig12AggTable, Fig13AggTable,
+	} {
+		if render(ref) != render(twice) {
+			t.Fatal("rendered tables differ between pool and farm after duplicate absorption")
+		}
+	}
+}
+
+// TestFarmSweepKeylessDedupe covers the inline path: cells without a store
+// key dedupe by index, so duplicates of keyless completions are discarded
+// just the same.
+func TestFarmSweepKeylessDedupe(t *testing.T) {
+	base := sweepTestConfig()
+	fsweep := NewFarmSweep(base, Urban, 1)
+	results := 0
+	fsweep.OnResult = func(*Result) { results++ }
+	c := fsweep.Cells()[0]
+	c.Key = "" // artefact travels inline: no content address to dedupe by
+	data, err := fsweep.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := fsweep.Absorb(c, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if results != 1 {
+		t.Fatalf("keyless cell absorbed %d times, want 1", results)
+	}
+}

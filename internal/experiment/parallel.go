@@ -177,33 +177,9 @@ func ParallelSweep(base Config, env Environment, opts SweepOptions) ([]Aggregate
 		reps = 1
 	}
 
-	// Lay out cells and jobs in figure order; results land by index.
-	var (
-		cells []AggregatePoint
-		jobs  []sweepJob
-	)
-	for _, gw := range GatewaySweep() {
-		for _, scheme := range Schemes() {
-			ci := len(cells)
-			cells = append(cells, AggregatePoint{
-				Environment: env,
-				Scheme:      scheme,
-				Gateways:    gw,
-				Seeds:       make([]uint64, reps),
-				Reps:        make([]*Result, reps),
-			})
-			for rep := 0; rep < reps; rep++ {
-				cfg := base
-				cfg.Environment = env
-				cfg.D2DRangeM = 0 // re-derive from environment
-				cfg.NumGateways = gw
-				cfg.Scheme = scheme
-				cfg.Seed = RepSeed(base.Seed, rep)
-				cells[ci].Seeds[rep] = cfg.Seed
-				jobs = append(jobs, sweepJob{cell: ci, rep: rep, cfg: cfg})
-			}
-		}
-	}
+	// Lay out cells and jobs in figure order (shared with the sweep farm);
+	// results land by index.
+	cells, jobs := layoutSweep(base, env, reps)
 	// The collector slots results and streams progress; runPool keeps the
 	// lowest-index error so a failing sweep reports the same cell no
 	// matter how completions interleave. cached[i] is written only by the

@@ -277,6 +277,17 @@ a { color: var(--ink-2); }
   <div class="tile"><div class="v">{{.P95}}</div><div class="l">delay p95</div></div>
   <div class="tile"><div class="v">{{.P99}}</div><div class="l">delay p99</div></div>
 </div>
+{{if .Sweep.Farm.Active}}
+<div class="tiles">
+  <div class="tile"><div class="v">{{.Sweep.Farm.Retries}}</div><div class="l">retries</div></div>
+  <div class="tile"><div class="v">{{.Sweep.Farm.Expired}}</div><div class="l">lease expiries</div></div>
+  <div class="tile"><div class="v">{{.Sweep.Farm.Quarantined}}</div><div class="l">quarantined</div></div>
+  <div class="tile"><div class="v">{{.Sweep.Farm.Duplicates}}</div><div class="l">dup completions</div></div>
+  <div class="tile"><div class="v">{{.Sweep.Farm.Crashes}}</div><div class="l">worker crashes</div></div>
+  {{range .Sweep.Farm.Workers}}<div class="tile"><div class="v">{{.Leases}}</div><div class="l">leases {{.Worker}}</div></div>
+  {{end}}
+</div>
+{{end}}
 <div class="meter"><span style="width: {{printf "%.1f" .PctDone}}%"></span></div>
 </div>
 {{end}}

@@ -216,6 +216,72 @@ func TestSweepTrackerStatus(t *testing.T) {
 	}
 }
 
+// TestSweepTrackerFarm pins the farm block: any Farm* call flips the
+// tracker into farm mode, Running becomes the live-lease sum, per-worker
+// gauges sort by name, and Begin resets everything.
+func TestSweepTrackerFarm(t *testing.T) {
+	tr := NewSweepTracker()
+	tr.Begin("fig 8 urban", 4)
+	if st := tr.Status(); st.Farm.Active {
+		t.Errorf("farm active before any Farm* call: %+v", st.Farm)
+	}
+	tr.FarmLeased("w1")
+	tr.FarmLeased("w1")
+	tr.FarmLeased("w0")
+	tr.FarmRetry(false)
+	tr.FarmRetry(true)
+	tr.FarmSettled("w1")
+	tr.FarmQuarantined()
+	tr.FarmDuplicate()
+	tr.FarmCrash()
+	tr.CellDone(1, 10, false, telemetry.Snapshot{})
+	st := tr.Status()
+	if !st.Farm.Active {
+		t.Fatal("farm block inactive after Farm* calls")
+	}
+	if st.Farm.Retries != 2 || st.Farm.Expired != 1 || st.Farm.Quarantined != 1 ||
+		st.Farm.Duplicates != 1 || st.Farm.Crashes != 1 {
+		t.Errorf("farm counters = %+v", st.Farm)
+	}
+	// Live leases: w0 holds 1, w1 holds 1 (2 granted, 1 settled) → Running
+	// is the lease sum, not the worker-pool heuristic.
+	if st.Running != 2 {
+		t.Errorf("Running = %d, want live-lease sum 2", st.Running)
+	}
+	if len(st.Farm.Workers) != 2 || st.Farm.Workers[0].Worker != "w0" || st.Farm.Workers[1].Leases != 1 {
+		t.Errorf("per-worker leases = %+v, want sorted [w0:1 w1:1]", st.Farm.Workers)
+	}
+	// Settling a worker with no lease is clamped, not driven negative.
+	tr.FarmSettled("w9")
+	for _, w := range tr.Status().Farm.Workers {
+		if w.Leases < 0 {
+			t.Errorf("worker %s lease gauge negative: %+v", w.Worker, tr.Status().Farm.Workers)
+		}
+	}
+	line := tr.Status().Line()
+	for _, want := range []string{"farm:", "2 retries", "(1 expired)", "1 quarantined", "1 crashes"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("farm status line %q missing %q", line, want)
+		}
+	}
+	// Begin resets the farm block entirely.
+	tr.Begin("fig 8 rural", 4)
+	if st := tr.Status(); st.Farm.Active || st.Farm.Retries != 0 || len(st.Farm.Workers) != 0 {
+		t.Errorf("Begin did not reset farm block: %+v", st.Farm)
+	}
+	// Nil tracker: all Farm* calls are no-ops.
+	var nilT *SweepTracker
+	nilT.FarmLeased("w0")
+	nilT.FarmSettled("w0")
+	nilT.FarmRetry(true)
+	nilT.FarmQuarantined()
+	nilT.FarmDuplicate()
+	nilT.FarmCrash()
+	if st := nilT.Status(); st.Farm.Active {
+		t.Errorf("nil tracker farm active: %+v", st)
+	}
+}
+
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	reg := NewRegistry()
@@ -288,9 +354,9 @@ func TestServerEndpoints(t *testing.T) {
 	for _, want := range []string{
 		"expsweep -fig 8",
 		"fig 8 urban",
-		"1 / 6",          // cells done tile
-		"delay p50",      // percentile tiles
-		"kernel",         // phase legend + totals
+		"1 / 6",     // cells done tile
+		"delay p50", // percentile tiles
+		"kernel",    // phase legend + totals
 		"messages generated",
 		"prefers-color-scheme: dark",
 	} {

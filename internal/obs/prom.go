@@ -110,6 +110,15 @@ func writeRuntime(w io.Writer, reg *Registry, flight *FlightRecorder, sweep *Swe
 	p.gauge("mlorass_sweep_cells_done", "Sweep cells completed so far.", float64(st.Done))
 	p.gauge("mlorass_sweep_cells_cached", "Completed sweep cells served from the run store.", float64(st.Cached))
 	p.gauge("mlorass_sweep_cells_running", "Sweep cells currently executing.", float64(st.Running))
+	p.gauge("mlorass_farm_retries_total", "Sweep-farm cell attempts that failed and were scheduled for retry.", float64(st.Farm.Retries))
+	p.gauge("mlorass_farm_lease_expiries_total", "Sweep-farm retries caused by lease expiry (lost workers).", float64(st.Farm.Expired))
+	p.gauge("mlorass_farm_quarantined_cells", "Sweep-farm cells quarantined as explicit gaps.", float64(st.Farm.Quarantined))
+	p.gauge("mlorass_farm_duplicate_completions_total", "Sweep-farm duplicate completions discarded by the exactly-once merge.", float64(st.Farm.Duplicates))
+	p.gauge("mlorass_farm_worker_crashes_total", "Sweep-farm worker deaths observed by the supervisor.", float64(st.Farm.Crashes))
+	p.header("mlorass_farm_worker_leases", "Live leases held per sweep-farm worker.", "gauge")
+	for _, w := range st.Farm.Workers {
+		p.printf("mlorass_farm_worker_leases{worker=%q} %d\n", w.Worker, w.Leases)
+	}
 
 	if flight != nil {
 		p.counter("mlorass_spans_recorded_total", "Phase spans recorded by the flight recorder.", flight.Recorded())

@@ -1,0 +1,89 @@
+package runstore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+	"time"
+)
+
+// Advisory per-key write claims. A claim is a `<key>.lock` file next to the
+// artefact holding the claimant's name; it is taken with O_CREATE|O_EXCL
+// (atomic on POSIX filesystems), so exactly one of two racing workers wins.
+// Claims are advisory: Put itself stays atomic (temp file + rename) and
+// never requires one, but a writer that cannot guarantee atomicity — or a
+// farm that wants torn-write protection even against crashed writers —
+// brackets its write with Claim/Release so a reader can tell "someone is
+// mid-write" from "this artefact is whole". Staleness is the caller's
+// policy: ClaimInfo exposes the claim's age and Release breaks any holder's
+// claim, so a caller with a clock decides when a holder is presumed dead.
+
+// claimPath maps a key to its advisory lock file.
+func (s *Store) claimPath(key string) (string, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(p, ".json") + ".lock", nil
+}
+
+// Claim takes the advisory write claim on key for owner. ok=false means
+// another owner holds it (read who and since when with ClaimInfo).
+func (s *Store) Claim(key, owner string) (ok bool, err error) {
+	p, err := s.claimPath(key)
+	if err != nil {
+		return false, err
+	}
+	if err := s.fsys.MkdirAll(dirOf(p), 0o755); err != nil {
+		return false, fmt.Errorf("runstore: %w", err)
+	}
+	err = s.fsys.WriteFileExcl(p, []byte(owner))
+	if err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("runstore: claiming %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Release drops the claim on key, whoever holds it — breaking a crashed
+// writer's stale claim is deliberately allowed; the caller decides
+// staleness from ClaimInfo's age. Releasing an unclaimed key is a no-op.
+func (s *Store) Release(key string) error {
+	p, err := s.claimPath(key)
+	if err != nil {
+		return err
+	}
+	if err := s.fsys.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("runstore: releasing %q: %w", key, err)
+	}
+	return nil
+}
+
+// ClaimInfo reports key's current claim: the owner string and the claim
+// file's modification time (its age on the caller's clock is the staleness
+// signal). held=false when the key is unclaimed.
+func (s *Store) ClaimInfo(key string) (owner string, since time.Time, held bool, err error) {
+	p, err := s.claimPath(key)
+	if err != nil {
+		return "", time.Time{}, false, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return "", time.Time{}, false, nil
+		}
+		return "", time.Time{}, false, fmt.Errorf("runstore: %w", err)
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return "", time.Time{}, false, nil // released between read and stat
+		}
+		return "", time.Time{}, false, fmt.Errorf("runstore: %w", err)
+	}
+	return string(data), fi.ModTime(), true, nil
+}

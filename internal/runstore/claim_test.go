@@ -1,0 +1,243 @@
+package runstore
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestClaimExclusive(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("cell"))
+
+	ok, err := s.Claim(key, "w0")
+	if err != nil || !ok {
+		t.Fatalf("first claim: ok=%v err=%v", ok, err)
+	}
+	// Exactly one of two claimants wins; the loser learns who holds it.
+	ok, err = s.Claim(key, "w1")
+	if err != nil || ok {
+		t.Fatalf("second claim should lose: ok=%v err=%v", ok, err)
+	}
+	owner, since, held, err := s.ClaimInfo(key)
+	if err != nil || !held || owner != "w0" {
+		t.Fatalf("ClaimInfo: owner=%q held=%v err=%v", owner, held, err)
+	}
+	if since.IsZero() || time.Since(since) > time.Minute {
+		t.Fatalf("claim age implausible: since=%v", since)
+	}
+	// Release frees it for the next claimant.
+	if err := s.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Claim(key, "w1"); err != nil || !ok {
+		t.Fatalf("claim after release: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestClaimBreakStale(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("cell"))
+	if ok, _ := s.Claim(key, "crashed-worker"); !ok {
+		t.Fatal("claim failed")
+	}
+	// A different worker decides the holder is dead and breaks the claim —
+	// Release is deliberately not owner-checked.
+	if err := s.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, held, err := s.ClaimInfo(key); err != nil || held {
+		t.Fatalf("claim survived the break: held=%v err=%v", held, err)
+	}
+	if ok, err := s.Claim(key, "w1"); err != nil || !ok {
+		t.Fatalf("claim after break: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestClaimReleaseUnclaimedIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(Key([]byte("never-claimed"))); err != nil {
+		t.Fatalf("releasing an unclaimed key: %v", err)
+	}
+	if _, _, held, err := s.ClaimInfo(Key([]byte("never-claimed"))); err != nil || held {
+		t.Fatalf("unclaimed key reported held: held=%v err=%v", held, err)
+	}
+}
+
+func TestClaimRejectsMalformedKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "short", "../../../../etc/passwd"} {
+		if _, err := s.Claim(bad, "w"); err == nil {
+			t.Errorf("Claim(%q) accepted malformed key", bad)
+		}
+		if err := s.Release(bad); err == nil {
+			t.Errorf("Release(%q) accepted malformed key", bad)
+		}
+		if _, _, _, err := s.ClaimInfo(bad); err == nil {
+			t.Errorf("ClaimInfo(%q) accepted malformed key", bad)
+		}
+	}
+}
+
+func TestClaimCoexistsWithArtifact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("cell"))
+	if err := s.Put(key, []byte("artefact")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Claim(key, "w0"); err != nil || !ok {
+		t.Fatalf("claim next to artefact: ok=%v err=%v", ok, err)
+	}
+	// The lock file sits next to the artefact and is not counted by Len.
+	if _, err := os.Stat(filepath.Join(dir, key[:2], key+".lock")); err != nil {
+		t.Fatalf("lock file not at expected path: %v", err)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len counted the lock file: %d, %v", n, err)
+	}
+	if err := s.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok, err := s.Get(key); err != nil || !ok || string(data) != "artefact" {
+		t.Fatalf("artefact damaged by claim cycle: %q ok=%v err=%v", data, ok, err)
+	}
+}
+
+// crashFS kills a writer mid-Put, as a process death would: after budget
+// bytes have reached the temp file, every later operation silently does
+// nothing — no error-path cleanup runs, the temp debris stays, the rename
+// never happens. budget < 0 means crash at the rename itself (full temp
+// file written, artefact never linked in).
+type crashFS struct {
+	real    osFS
+	budget  int
+	crashed bool
+}
+
+type crashFile struct {
+	fsys *crashFS
+	f    fileHandle
+}
+
+func (c *crashFS) MkdirAll(dir string, perm fs.FileMode) error {
+	if c.crashed {
+		return nil
+	}
+	return c.real.MkdirAll(dir, perm)
+}
+
+func (c *crashFS) CreateTemp(dir, pattern string) (fileHandle, error) {
+	f, err := c.real.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fsys: c, f: f}, nil
+}
+
+func (c *crashFS) Rename(oldpath, newpath string) error {
+	if c.crashed || c.budget < 0 {
+		c.crashed = true
+		return nil // the process died; the rename never reached the kernel
+	}
+	return c.real.Rename(oldpath, newpath)
+}
+
+func (c *crashFS) Remove(name string) error {
+	if c.crashed {
+		return nil // no cleanup path runs in a dead process
+	}
+	return c.real.Remove(name)
+}
+
+func (c *crashFS) WriteFileExcl(name string, data []byte) error {
+	if c.crashed {
+		return nil
+	}
+	return c.real.WriteFileExcl(name, data)
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	if f.fsys.crashed {
+		return len(p), nil
+	}
+	if f.fsys.budget >= 0 && len(p) > f.fsys.budget {
+		// The crash instant: only the first budget bytes ever hit the disk.
+		_, _ = f.f.Write(p[:f.fsys.budget])
+		f.fsys.crashed = true
+		return len(p), nil // a dead process reports nothing; Put proceeds into no-ops
+	}
+	if f.fsys.budget >= 0 {
+		f.fsys.budget -= len(p)
+	}
+	return f.f.Write(p)
+}
+
+func (f *crashFile) Close() error {
+	if f.fsys.crashed {
+		return nil
+	}
+	return f.f.Close()
+}
+
+func (f *crashFile) Name() string { return f.f.Name() }
+
+// TestStoreCrashMidWriteAtEveryOffset kills the writer at every byte offset
+// of the artefact — plus at the rename itself — and proves the store never
+// exposes a torn artefact and always accepts a retry.
+func TestStoreCrashMidWriteAtEveryOffset(t *testing.T) {
+	data := []byte(`{"delivered":42,"schema":3,"tail":"intact"}`)
+	for offset := 0; offset <= len(data); offset++ {
+		budget := offset
+		name := fmt.Sprintf("offset=%d", offset)
+		if offset == len(data) {
+			budget = -1 // full write, crash at the rename
+			name = "crash-at-rename"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := Key([]byte("cell"))
+			s.fsys = &crashFS{budget: budget}
+			_ = s.Put(key, data) // the writer dies somewhere inside
+
+			// Nothing torn is ever visible: the key reads as absent.
+			if got, ok, err := s.Get(key); err != nil || ok {
+				t.Fatalf("torn artefact visible after crash: %q ok=%v err=%v", got, ok, err)
+			}
+			if n, err := s.Len(); err != nil || n != 0 {
+				t.Fatalf("Len sees crash debris: %d, %v", n, err)
+			}
+
+			// A reincarnated writer repairs the key over the debris.
+			s.fsys = osFS{}
+			if err := s.Put(key, data); err != nil {
+				t.Fatalf("Put after crash: %v", err)
+			}
+			got, ok, err := s.Get(key)
+			if err != nil || !ok || string(got) != string(data) {
+				t.Fatalf("after repair: %q ok=%v err=%v", got, ok, err)
+			}
+		})
+	}
+}

@@ -23,11 +23,67 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 )
+
+// fsOps is the slice of the filesystem the store's write path uses. It is
+// injectable so the crash tests can kill a write at any byte offset and
+// prove the store never exposes a torn artefact; production uses osFS.
+type fsOps interface {
+	MkdirAll(dir string, perm fs.FileMode) error
+	// CreateTemp opens an exclusive temp file in dir for the atomic-write
+	// dance.
+	CreateTemp(dir, pattern string) (fileHandle, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// WriteFileExcl creates name with data, failing with fs.ErrExist if
+	// it already exists (the advisory-claim primitive).
+	WriteFileExcl(name string, data []byte) error
+}
+
+// fileHandle is the writable temp-file surface Put needs.
+type fileHandle interface {
+	io.WriteCloser
+	Name() string
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) CreateTemp(dir, pattern string) (fileHandle, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) WriteFileExcl(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		os.Remove(name)
+		return werr
+	}
+	if cerr != nil {
+		os.Remove(name)
+		return cerr
+	}
+	return nil
+}
+
+// dirOf is filepath.Dir, named for the claim path helper.
+func dirOf(p string) string { return filepath.Dir(p) }
 
 // Key returns the store key for a canonical artefact description: the
 // SHA-256 hex digest of the bytes. Callers are responsible for making the
@@ -52,6 +108,7 @@ type Stats struct {
 // by multiple goroutines (sweep workers) and cooperating processes.
 type Store struct {
 	dir    string
+	fsys   fsOps
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	puts   atomic.Uint64
@@ -65,7 +122,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runstore: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fsys: osFS{}}, nil
 }
 
 // Dir returns the store's root directory.
@@ -110,24 +167,24 @@ func (s *Store) Put(key string, data []byte) error {
 		return err
 	}
 	dir := filepath.Dir(p)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("runstore: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, "."+key[:8]+"-*.tmp")
+	tmp, err := s.fsys.CreateTemp(dir, "."+key[:8]+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("runstore: %w", err)
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		s.fsys.Remove(tmp.Name())
 		if werr == nil {
 			werr = cerr
 		}
 		return fmt.Errorf("runstore: %w", werr)
 	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fsys.Rename(tmp.Name(), p); err != nil {
+		s.fsys.Remove(tmp.Name())
 		return fmt.Errorf("runstore: %w", err)
 	}
 	s.puts.Add(1)

@@ -1,0 +1,138 @@
+package sweepfarm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// FarmConfig wires a coordinator and a pool of in-process workers.
+type FarmConfig struct {
+	// Workers is the pool size. Zero means 1.
+	Workers int
+	// Worker is the per-worker template (ID is assigned per worker).
+	Worker WorkerConfig
+	// Lease tunes the coordinator's lease state machine.
+	Lease LeaseConfig
+	// Verify gates every completion; Absorb receives each verified
+	// artefact exactly once; Events observes transitions.
+	Verify Verify
+	Absorb Absorb
+	Events func(Event)
+	// Hooks injects worker crashes/stalls (nil = fault-free).
+	Hooks Hooks
+	// WrapTransport wraps the coordinator as seen by workers (nil =
+	// direct calls); the fault injector scripts message loss, duplication
+	// and delay here.
+	WrapTransport func(Transport) Transport
+	// WorkerClock supplies worker i's clock (nil = the farm clock); the
+	// harness skews individual workers here.
+	WorkerClock func(i int) Clock
+	// Respawn restarts crashed workers (a supervisor), so scripted
+	// crashes cannot strand the sweep. Without it, a farm whose workers
+	// all die returns an error with the sweep incomplete.
+	Respawn bool
+}
+
+// Farm is a wired coordinator plus worker pool.
+type Farm struct {
+	coord *Coordinator
+	cfg   FarmConfig
+	cells []Cell
+	run   Runner
+	store ArtifactStore
+	clock Clock
+	// crashes counts worker deaths observed by the supervisor.
+	crashes atomic.Int64
+}
+
+// New builds a farm over the sweep's cells. The coordinator immediately
+// recovers any progress already in the store (the restart path); Run then
+// executes the remainder.
+func New(cells []Cell, run Runner, store ArtifactStore, clock Clock, cfg FarmConfig) (*Farm, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if clock == nil {
+		clock = Wall()
+	}
+	coord, err := NewCoordinator(cells, store, clock, CoordConfig{
+		Lease: cfg.Lease, Verify: cfg.Verify, Absorb: cfg.Absorb, Events: cfg.Events})
+	if err != nil {
+		return nil, err
+	}
+	return &Farm{coord: coord, cfg: cfg, cells: cells, run: run, store: store, clock: clock}, nil
+}
+
+// Coordinator exposes the farm's coordinator (report, inline artefacts,
+// done channel).
+func (f *Farm) Coordinator() *Coordinator { return f.coord }
+
+// newWorker builds worker i over the (possibly wrapped) transport.
+func (f *Farm) newWorker(i int) *Worker {
+	wc := f.cfg.Worker
+	wc.ID = fmt.Sprintf("w%d", i)
+	var t Transport = f.coord
+	if f.cfg.WrapTransport != nil {
+		t = f.cfg.WrapTransport(t)
+	}
+	clock := f.clock
+	if f.cfg.WorkerClock != nil {
+		if c := f.cfg.WorkerClock(i); c != nil {
+			clock = c
+		}
+	}
+	return NewWorker(wc, t, f.store, f.run, f.cfg.Verify, clock, f.cfg.Hooks)
+}
+
+// Run executes the sweep to completion: every cell done or quarantined.
+// Crashed workers are respawned when configured; otherwise, if every worker
+// dies with cells still open, Run returns an error alongside the report of
+// whatever was salvaged.
+func (f *Farm) Run() (Report, error) {
+	type exit struct {
+		i   int
+		err error
+	}
+	exits := make(chan exit)
+	launch := func(i int) {
+		w := f.newWorker(i)
+		go func() { exits <- exit{i, w.Run()} }()
+	}
+	live := f.cfg.Workers
+	for i := 0; i < f.cfg.Workers; i++ {
+		launch(i)
+	}
+	for live > 0 {
+		e := <-exits
+		if errors.Is(e.err, ErrCrashed) {
+			f.crashes.Add(1)
+			if f.cfg.Respawn {
+				// The supervisor restarts the worker after an idle beat,
+				// as a process manager would.
+				go func(i int) {
+					<-f.clock.After(f.cfg.Worker.withDefaults().Poll)
+					launch(i)
+				}(e.i)
+				continue
+			}
+		}
+		live--
+	}
+	rep := f.Report()
+	select {
+	case <-f.coord.DoneCh():
+		return rep, nil
+	default:
+		return rep, fmt.Errorf("sweepfarm: all workers exited with %d of %d cells still open",
+			rep.Cells-rep.Done-len(rep.Quarantined), rep.Cells)
+	}
+}
+
+// Report reads the coordinator's bookkeeping plus the supervisor's crash
+// count.
+func (f *Farm) Report() Report {
+	rep := f.coord.Report()
+	rep.Crashes = int(f.crashes.Load())
+	return rep
+}

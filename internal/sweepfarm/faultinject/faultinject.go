@@ -1,0 +1,407 @@
+// Package faultinject is the sweep farm's deterministic fault harness: a
+// scripted (or seeded-random) schedule of worker crashes, worker stalls,
+// message loss/duplication/delay, and torn artefact writes, injected
+// through the farm's Hooks, Transport and ArtifactStore seams. Schedules
+// are deterministic — rules fire on the Nth occurrence of a (worker,
+// checkpoint) or (worker, op) stream, and random schedules derive from a
+// seed — so a failing schedule replays exactly. The farm's contract, proven
+// by the tests that drive this package: every schedule converges to the
+// same artefact bytes and the same merged tables as a fault-free serial
+// run.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mlorass/internal/rng"
+	"mlorass/internal/sweepfarm"
+)
+
+// Op names a worker→coordinator message type for message-fault rules.
+type Op uint8
+
+const (
+	OpClaim Op = iota
+	OpHeartbeat
+	OpComplete
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpClaim:
+		return "claim"
+	case OpHeartbeat:
+		return "heartbeat"
+	case OpComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// MsgFault is what happens to a matched message.
+type MsgFault uint8
+
+const (
+	// DropRequest loses the message before the coordinator sees it.
+	DropRequest MsgFault = iota
+	// DropReply delivers the message but loses the acknowledgement — the
+	// sender cannot tell this from DropRequest, which is the whole
+	// at-least-once problem.
+	DropReply
+	// Duplicate delivers the message twice.
+	Duplicate
+	// Delay holds the message for Rule.For before delivering it.
+	Delay
+)
+
+// String names the fault.
+func (f MsgFault) String() string {
+	switch f {
+	case DropRequest:
+		return "drop-request"
+	case DropReply:
+		return "drop-reply"
+	case Duplicate:
+		return "duplicate"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("MsgFault(%d)", uint8(f))
+	}
+}
+
+// crashRule kills a worker at a checkpoint (or stalls it there).
+type crashRule struct {
+	worker string // "" = any worker
+	phase  sweepfarm.Phase
+	nth    int // 1-based occurrence in the (worker, phase) stream
+	stall  time.Duration
+}
+
+// msgRule faults a message.
+type msgRule struct {
+	op     Op
+	worker string
+	nth    int
+	fault  MsgFault
+	delay  time.Duration
+}
+
+// tearRule tears an artefact write: the Nth store Put (optionally of one
+// key) persists only a prefix of its bytes while reporting success — a
+// crashed non-atomic writer.
+type tearRule struct {
+	key  string // "" = any key
+	nth  int    // 1-based occurrence in the (key-filtered) Put stream
+	keep float64
+}
+
+// Stats counts the faults a schedule actually fired, so tests can assert
+// the scripted scenario happened rather than silently not matching.
+type Stats struct {
+	Crashes, Stalls, DroppedRequests, DroppedReplies, Duplicated, Delayed, TornWrites int
+}
+
+// Injector holds a fault schedule and implements the farm's injection
+// seams: Hooks (crashes/stalls), a Transport wrapper (message faults) and
+// an ArtifactStore wrapper (torn writes). Safe for concurrent use.
+type Injector struct {
+	mu      sync.Mutex
+	clock   sweepfarm.Clock
+	crashes []crashRule
+	msgs    []msgRule
+	tears   []tearRule
+	counts  map[string]int
+	stats   Stats
+}
+
+// New returns an empty schedule; delays and stalls wait on clock (nil =
+// wall clock).
+func New(clock sweepfarm.Clock) *Injector {
+	if clock == nil {
+		clock = sweepfarm.Wall()
+	}
+	return &Injector{clock: clock, counts: map[string]int{}}
+}
+
+// Crash schedules worker's nth arrival at phase to kill it ("" = any
+// worker, counted as one stream).
+func (in *Injector) Crash(worker string, phase sweepfarm.Phase, nth int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashes = append(in.crashes, crashRule{worker: worker, phase: phase, nth: nth})
+	return in
+}
+
+// Stall schedules worker's nth arrival at phase to hang for d before
+// continuing — the slow-worker fault (set d past the lease TTL to force an
+// expiry while the worker still lives).
+func (in *Injector) Stall(worker string, phase sweepfarm.Phase, nth int, d time.Duration) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashes = append(in.crashes, crashRule{worker: worker, phase: phase, nth: nth, stall: d})
+	return in
+}
+
+// Message schedules a fault on worker's nth op message ("" = any worker).
+// For Delay faults, d is the hold time.
+func (in *Injector) Message(op Op, worker string, nth int, fault MsgFault, d time.Duration) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.msgs = append(in.msgs, msgRule{op: op, worker: worker, nth: nth, fault: fault, delay: d})
+	return in
+}
+
+// TearWrite schedules the nth artefact Put (of key, or any key when "")
+// to persist only the keep fraction of its bytes while reporting success.
+func (in *Injector) TearWrite(key string, nth int, keep float64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.tears = append(in.tears, tearRule{key: key, nth: nth, keep: keep})
+	return in
+}
+
+// Stats returns the fired-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// errInjectedCrash is the hook error that downs a worker.
+var errInjectedCrash = errors.New("faultinject: scripted crash")
+
+// Phase implements sweepfarm.Hooks.
+func (in *Injector) Phase(worker string, p sweepfarm.Phase, c sweepfarm.Cell) error {
+	var stall time.Duration
+	in.mu.Lock()
+	crash := false
+	for i, r := range in.crashes {
+		if r.phase != p || (r.worker != "" && r.worker != worker) {
+			continue
+		}
+		// Each rule keeps its own occurrence counter over the stream of
+		// matching arrivals, so "nth" means "the nth time this worker
+		// reaches this phase".
+		k := fmt.Sprintf("phase/%s/%d/%d", r.worker, p, i)
+		in.counts[k]++
+		if in.counts[k] != r.nth {
+			continue
+		}
+		if r.stall > 0 {
+			stall = r.stall
+			in.stats.Stalls++
+		} else {
+			crash = true
+			in.stats.Crashes++
+		}
+	}
+	clock := in.clock
+	in.mu.Unlock()
+	if stall > 0 {
+		<-clock.After(stall)
+	}
+	if crash {
+		return errInjectedCrash
+	}
+	return nil
+}
+
+// Hooks returns the injector as the farm's crash/stall hook.
+func (in *Injector) Hooks() sweepfarm.Hooks { return in }
+
+// WrapTransport wraps t with the schedule's message faults.
+func (in *Injector) WrapTransport(t sweepfarm.Transport) sweepfarm.Transport {
+	return &faultyTransport{in: in, inner: t}
+}
+
+// WrapStore wraps s with the schedule's torn writes.
+func (in *Injector) WrapStore(s sweepfarm.ArtifactStore) sweepfarm.ArtifactStore {
+	return &tearingStore{in: in, ArtifactStore: s}
+}
+
+// decide matches one message against the schedule; at most one rule fires
+// per message (the first match in schedule order).
+func (in *Injector) decide(op Op, worker string) (fault MsgFault, d time.Duration, fired bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.msgs {
+		if r.op != op || (r.worker != "" && r.worker != worker) {
+			continue
+		}
+		k := fmt.Sprintf("msg/%d/%s/%d", op, r.worker, i)
+		in.counts[k]++
+		if in.counts[k] != r.nth {
+			continue
+		}
+		switch r.fault {
+		case DropRequest:
+			in.stats.DroppedRequests++
+		case DropReply:
+			in.stats.DroppedReplies++
+		case Duplicate:
+			in.stats.Duplicated++
+		case Delay:
+			in.stats.Delayed++
+		}
+		return r.fault, r.delay, true
+	}
+	return 0, 0, false
+}
+
+// faultyTransport applies message faults around the inner transport.
+type faultyTransport struct {
+	in    *Injector
+	inner sweepfarm.Transport
+}
+
+// apply runs one message through the schedule. call delivers the message
+// to the inner transport; it is invoked zero (lost request), one, or two
+// (duplicate) times.
+func (t *faultyTransport) apply(op Op, worker string, call func() error) error {
+	fault, d, fired := t.in.decide(op, worker)
+	if !fired {
+		return call()
+	}
+	switch fault {
+	case DropRequest:
+		return sweepfarm.ErrLost
+	case DropReply:
+		_ = call()
+		return sweepfarm.ErrLost
+	case Duplicate:
+		_ = call()
+		return call()
+	case Delay:
+		<-t.in.clock.After(d)
+		return call()
+	default:
+		return call()
+	}
+}
+
+func (t *faultyTransport) Claim(req sweepfarm.ClaimRequest) (rep sweepfarm.ClaimReply, err error) {
+	err = t.apply(OpClaim, req.Worker, func() error {
+		var e error
+		rep, e = t.inner.Claim(req)
+		return e
+	})
+	if err != nil {
+		return sweepfarm.ClaimReply{}, err
+	}
+	return rep, nil
+}
+
+func (t *faultyTransport) Heartbeat(req sweepfarm.HeartbeatRequest) (rep sweepfarm.HeartbeatReply, err error) {
+	err = t.apply(OpHeartbeat, req.Worker, func() error {
+		var e error
+		rep, e = t.inner.Heartbeat(req)
+		return e
+	})
+	if err != nil {
+		return sweepfarm.HeartbeatReply{}, err
+	}
+	return rep, nil
+}
+
+func (t *faultyTransport) Complete(req sweepfarm.CompleteRequest) (rep sweepfarm.CompleteReply, err error) {
+	err = t.apply(OpComplete, req.Worker, func() error {
+		var e error
+		rep, e = t.inner.Complete(req)
+		return e
+	})
+	if err != nil {
+		return sweepfarm.CompleteReply{}, err
+	}
+	return rep, nil
+}
+
+// tearingStore tears scheduled Puts: a prefix of the bytes lands (through
+// the inner store's atomic path, so the tear is visible, not hidden by the
+// temp-file dance) and the writer is told it succeeded — the strongest
+// corruption the verify layer must catch.
+type tearingStore struct {
+	in *Injector
+	sweepfarm.ArtifactStore
+}
+
+func (s *tearingStore) Put(key string, data []byte) error {
+	s.in.mu.Lock()
+	var keep float64 = -1
+	for i, r := range s.in.tears {
+		if r.key != "" && r.key != key {
+			continue
+		}
+		k := fmt.Sprintf("tear/%s/%d", r.key, i)
+		s.in.counts[k]++
+		if s.in.counts[k] != r.nth {
+			continue
+		}
+		keep = r.keep
+		s.in.stats.TornWrites++
+		break
+	}
+	s.in.mu.Unlock()
+	if keep < 0 {
+		return s.ArtifactStore.Put(key, data)
+	}
+	n := int(float64(len(data)) * keep)
+	if n >= len(data) {
+		n = len(data) - 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	if err := s.ArtifactStore.Put(key, data[:n]); err != nil {
+		return err
+	}
+	return nil // the writer believes the full write landed
+}
+
+// RandomConfig scales Random schedules.
+type RandomConfig struct {
+	// Workers is the farm's worker count (rules target them by id).
+	Workers int
+	// Crashes, MsgFaults, Tears are how many rules of each kind to draw.
+	Crashes, MsgFaults, Tears int
+	// MaxNth bounds each rule's occurrence index.
+	MaxNth int
+	// Delay is the hold time for delay faults.
+	Delay time.Duration
+}
+
+// Random derives a schedule from seed: crashes spread over workers and
+// phases, message faults over ops and fault kinds, and torn writes — the
+// seed corpus generator for the convergence property tests. The same seed
+// always builds the same schedule.
+func Random(seed uint64, clock sweepfarm.Clock, cfg RandomConfig) *Injector {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxNth <= 0 {
+		cfg.MaxNth = 3
+	}
+	src := rng.New(seed)
+	in := New(clock)
+	phases := []sweepfarm.Phase{sweepfarm.PhasePreClaim, sweepfarm.PhaseMidCompute, sweepfarm.PhasePostWrite}
+	for i := 0; i < cfg.Crashes; i++ {
+		w := fmt.Sprintf("w%d", src.Uint64()%uint64(cfg.Workers))
+		in.Crash(w, phases[src.Uint64()%3], int(src.Uint64()%uint64(cfg.MaxNth))+1)
+	}
+	ops := []Op{OpClaim, OpHeartbeat, OpComplete}
+	faults := []MsgFault{DropRequest, DropReply, Duplicate, Delay}
+	for i := 0; i < cfg.MsgFaults; i++ {
+		w := fmt.Sprintf("w%d", src.Uint64()%uint64(cfg.Workers))
+		in.Message(ops[src.Uint64()%3], w, int(src.Uint64()%uint64(cfg.MaxNth))+1,
+			faults[src.Uint64()%4], cfg.Delay)
+	}
+	for i := 0; i < cfg.Tears; i++ {
+		in.TearWrite("", int(src.Uint64()%uint64(cfg.MaxNth))+1, src.Float64())
+	}
+	return in
+}

@@ -1,0 +1,253 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mlorass/internal/sweepfarm"
+)
+
+// fakeTransport records deliveries so tests can count how many times a
+// faulted message actually reached the coordinator side.
+type fakeTransport struct {
+	claims, beats, completes int
+}
+
+func (t *fakeTransport) Claim(sweepfarm.ClaimRequest) (sweepfarm.ClaimReply, error) {
+	t.claims++
+	return sweepfarm.ClaimReply{OK: true}, nil
+}
+
+func (t *fakeTransport) Heartbeat(sweepfarm.HeartbeatRequest) (sweepfarm.HeartbeatReply, error) {
+	t.beats++
+	return sweepfarm.HeartbeatReply{OK: true}, nil
+}
+
+func (t *fakeTransport) Complete(sweepfarm.CompleteRequest) (sweepfarm.CompleteReply, error) {
+	t.completes++
+	return sweepfarm.CompleteReply{Accepted: true}, nil
+}
+
+// memStore is a minimal in-memory ArtifactStore for tear tests.
+type memStore map[string][]byte
+
+func (s memStore) Put(key string, data []byte) error {
+	s[key] = append([]byte(nil), data...)
+	return nil
+}
+
+func (s memStore) Get(key string) ([]byte, bool, error) {
+	d, ok := s[key]
+	return d, ok, nil
+}
+
+func (s memStore) Claim(key, owner string) (bool, error) { return true, nil }
+func (s memStore) Release(key string) error              { return nil }
+func (s memStore) ClaimInfo(key string) (string, time.Time, bool, error) {
+	return "", time.Time{}, false, nil
+}
+
+func TestCrashFiresOnNthArrival(t *testing.T) {
+	in := New(nil).Crash("w0", sweepfarm.PhaseMidCompute, 2)
+	h := in.Hooks()
+	cell := sweepfarm.Cell{Index: 0}
+	if err := h.Phase("w0", sweepfarm.PhaseMidCompute, cell); err != nil {
+		t.Fatalf("first arrival crashed: %v", err)
+	}
+	if err := h.Phase("w1", sweepfarm.PhaseMidCompute, cell); err != nil {
+		t.Fatalf("other worker crashed: %v", err)
+	}
+	if err := h.Phase("w0", sweepfarm.PhasePreClaim, cell); err != nil {
+		t.Fatalf("other phase crashed: %v", err)
+	}
+	if err := h.Phase("w0", sweepfarm.PhaseMidCompute, cell); err == nil {
+		t.Fatal("second arrival did not crash")
+	}
+	if err := h.Phase("w0", sweepfarm.PhaseMidCompute, cell); err != nil {
+		t.Fatalf("rule refired on third arrival: %v", err)
+	}
+	if st := in.Stats(); st.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", st.Crashes)
+	}
+}
+
+func TestStallWaitsOnClock(t *testing.T) {
+	clock := sweepfarm.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	in := New(clock).Stall("", sweepfarm.PhasePostWrite, 1, time.Minute)
+	done := make(chan error, 1)
+	go func() { done <- in.Hooks().Phase("w0", sweepfarm.PhasePostWrite, sweepfarm.Cell{}) }()
+	select {
+	case <-done:
+		t.Fatal("stall returned before the clock advanced")
+	case <-time.After(20 * time.Millisecond):
+	}
+	clock.Advance(time.Minute)
+	if err := <-done; err != nil {
+		t.Fatalf("stall turned into a crash: %v", err)
+	}
+	if st := in.Stats(); st.Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", st.Stalls)
+	}
+}
+
+func TestMessageFaults(t *testing.T) {
+	inner := &fakeTransport{}
+	in := New(nil).
+		Message(OpClaim, "w0", 1, DropRequest, 0).
+		Message(OpHeartbeat, "", 1, DropReply, 0).
+		Message(OpComplete, "w0", 1, Duplicate, 0).
+		Message(OpComplete, "w0", 2, Delay, time.Millisecond)
+	tr := in.WrapTransport(inner)
+
+	// Dropped request: sender sees ErrLost, coordinator never sees it.
+	if _, err := tr.Claim(sweepfarm.ClaimRequest{Worker: "w0"}); err != sweepfarm.ErrLost {
+		t.Fatalf("dropped claim returned %v, want ErrLost", err)
+	}
+	if inner.claims != 0 {
+		t.Fatalf("dropped claim was delivered %d times", inner.claims)
+	}
+	// Rule consumed: the next claim goes through.
+	if _, err := tr.Claim(sweepfarm.ClaimRequest{Worker: "w0"}); err != nil || inner.claims != 1 {
+		t.Fatalf("second claim: err=%v delivered=%d", err, inner.claims)
+	}
+
+	// Dropped reply: delivered exactly once, but the sender sees ErrLost —
+	// indistinguishable from a dropped request, which is the point.
+	if _, err := tr.Heartbeat(sweepfarm.HeartbeatRequest{Worker: "w9"}); err != sweepfarm.ErrLost {
+		t.Fatalf("dropped heartbeat reply returned %v, want ErrLost", err)
+	}
+	if inner.beats != 1 {
+		t.Fatalf("drop-reply heartbeat delivered %d times, want 1", inner.beats)
+	}
+
+	// Duplicate: delivered twice for one send.
+	if _, err := tr.Complete(sweepfarm.CompleteRequest{Worker: "w0"}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.completes != 2 {
+		t.Fatalf("duplicated complete delivered %d times, want 2", inner.completes)
+	}
+
+	// At most one rule fires per message, so the send after the duplicate
+	// passes through clean (the delay rule's occurrence counter only sees
+	// messages earlier rules did not consume)...
+	if _, err := tr.Complete(sweepfarm.CompleteRequest{Worker: "w0"}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.completes != 3 {
+		t.Fatalf("post-duplicate complete delivered %d times total, want 3", inner.completes)
+	}
+	// ...and the one after that is its 2nd occurrence: delivered after the
+	// hold, once.
+	if _, err := tr.Complete(sweepfarm.CompleteRequest{Worker: "w0"}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.completes != 4 {
+		t.Fatalf("delayed complete delivered %d times total, want 4", inner.completes)
+	}
+
+	st := in.Stats()
+	if st.DroppedRequests != 1 || st.DroppedReplies != 1 || st.Duplicated != 1 || st.Delayed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTearWriteKeepsPrefixAndLies(t *testing.T) {
+	store := memStore{}
+	in := New(nil).TearWrite("k1", 1, 0.5)
+	s := in.WrapStore(store)
+	data := []byte("0123456789")
+	if err := s.Put("other", data); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := store.Get("other"); len(got) != len(data) {
+		t.Fatalf("unmatched key torn: %d bytes", len(got))
+	}
+	if err := s.Put("k1", data); err != nil {
+		t.Fatalf("torn write must report success, got %v", err)
+	}
+	if got, _, _ := store.Get("k1"); len(got) != 5 || string(got) != "01234" {
+		t.Fatalf("torn artefact = %q, want the 5-byte prefix", got)
+	}
+	// Rule consumed: the healing rewrite lands whole.
+	if err := s.Put("k1", data); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := store.Get("k1"); string(got) != string(data) {
+		t.Fatalf("rewrite torn again: %q", got)
+	}
+	if st := in.Stats(); st.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", st.TornWrites)
+	}
+}
+
+func TestTearWriteNeverKeepsEverything(t *testing.T) {
+	store := memStore{}
+	s := New(nil).TearWrite("", 1, 1.0).WrapStore(store)
+	if err := s.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := store.Get("k"); len(got) >= 3 {
+		t.Fatalf("keep=1.0 persisted %d of 3 bytes; a tear must lose something", len(got))
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	cfg := RandomConfig{Workers: 3, Crashes: 2, MsgFaults: 3, Tears: 1, MaxNth: 2, Delay: time.Millisecond}
+	a, b := Random(42, nil, cfg), Random(42, nil, cfg)
+	if len(a.crashes) != len(b.crashes) || len(a.msgs) != len(b.msgs) || len(a.tears) != len(b.tears) {
+		t.Fatal("same seed built different schedule sizes")
+	}
+	for i := range a.crashes {
+		if a.crashes[i] != b.crashes[i] {
+			t.Fatalf("crash rule %d differs: %+v vs %+v", i, a.crashes[i], b.crashes[i])
+		}
+	}
+	for i := range a.msgs {
+		if a.msgs[i] != b.msgs[i] {
+			t.Fatalf("msg rule %d differs: %+v vs %+v", i, a.msgs[i], b.msgs[i])
+		}
+	}
+	c := Random(43, nil, cfg)
+	same := len(a.crashes) == len(c.crashes) && len(a.msgs) == len(c.msgs)
+	if same {
+		diff := false
+		for i := range a.crashes {
+			if a.crashes[i] != c.crashes[i] {
+				diff = true
+			}
+		}
+		for i := range a.msgs {
+			if a.msgs[i] != c.msgs[i] {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds built identical schedules")
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{OpClaim.String(), "claim"},
+		{OpHeartbeat.String(), "heartbeat"},
+		{OpComplete.String(), "complete"},
+		{Op(9).String(), "Op(9)"},
+		{DropRequest.String(), "drop-request"},
+		{DropReply.String(), "drop-reply"},
+		{Duplicate.String(), "duplicate"},
+		{Delay.String(), "delay"},
+		{MsgFault(9).String(), "MsgFault(9)"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+	if !strings.Contains(errInjectedCrash.Error(), "scripted crash") {
+		t.Fatalf("crash error = %q", errInjectedCrash)
+	}
+}

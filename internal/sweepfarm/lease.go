@@ -1,0 +1,238 @@
+package sweepfarm
+
+import (
+	"time"
+
+	"mlorass/internal/rng"
+)
+
+// Cell is one unit of sweep work. Index is its position in the sweep's
+// deterministic enumeration order (results are assembled by index, never by
+// completion order). Key is the cell's content address in the artefact
+// store; an empty Key marks an uncacheable cell whose artefact travels
+// inline in the completion message instead. Label names the cell in events
+// and gap reports.
+type Cell struct {
+	Index int
+	Key   string
+	Label string
+}
+
+// LeaseConfig tunes the lease state machine.
+type LeaseConfig struct {
+	// TTL is how long a lease lives between heartbeats; an expired lease
+	// frees its cell for re-claiming. Zero means 30 seconds.
+	TTL time.Duration
+	// MaxAttempts is the number of failed attempts (explicit failures,
+	// corrupt artefacts, or expired leases) after which a cell is
+	// quarantined instead of retried. Zero means 4.
+	MaxAttempts int
+	// BackoffBase scales the exponential retry backoff: a cell that has
+	// failed n times is not re-leased until base·2^(n-1) plus jitter in
+	// [0, base) has passed. Zero means 250 ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff. Zero means 30 seconds.
+	BackoffMax time.Duration
+	// MaxPerWorker bounds the live leases any one worker may hold — the
+	// farm's backpressure: a worker cannot strip-mine the queue and then
+	// crash with half the sweep leased. Zero means 2.
+	MaxPerWorker int
+	// Seed feeds the deterministic jitter stream.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c LeaseConfig) withDefaults() LeaseConfig {
+	if c.TTL <= 0 {
+		c.TTL = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 30 * time.Second
+	}
+	if c.MaxPerWorker <= 0 {
+		c.MaxPerWorker = 2
+	}
+	return c
+}
+
+// cellState is the lease table's per-cell lifecycle.
+type cellState uint8
+
+const (
+	statePending     cellState = iota // waiting to be leased (possibly backing off)
+	stateLeased                       // held by a live lease
+	stateDone                         // artefact verified and absorbed
+	stateQuarantined                  // failed MaxAttempts times; reported as a gap
+)
+
+// cellRec is the lease table's bookkeeping for one cell.
+type cellRec struct {
+	state    cellState
+	attempts int // failed attempts so far
+	leaseID  uint64
+	worker   string
+	expiry   time.Time // lease deadline (leased cells)
+	retryAt  time.Time // backoff gate (pending cells)
+	lastErr  string
+}
+
+// leaseTable is the pure lease state machine: no goroutines, no clock of
+// its own — every transition takes an explicit now, so the property tests
+// can drive it through arbitrary schedules. The Coordinator wraps it in a
+// mutex.
+type leaseTable struct {
+	cfg      LeaseConfig
+	recs     []cellRec
+	leaseSeq uint64
+	// open counts cells not yet done or quarantined.
+	open int
+}
+
+func newLeaseTable(n int, cfg LeaseConfig) *leaseTable {
+	return &leaseTable{cfg: cfg.withDefaults(), recs: make([]cellRec, n), open: n}
+}
+
+// finished reports whether every cell is done or quarantined.
+func (t *leaseTable) finished() bool { return t.open == 0 }
+
+// liveLeases counts worker's unexpired leases at now.
+func (t *leaseTable) liveLeases(worker string, now time.Time) int {
+	n := 0
+	for i := range t.recs {
+		r := &t.recs[i]
+		if r.state == stateLeased && r.worker == worker && r.expiry.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// claim leases the lowest-index claimable cell to worker: pending, past its
+// backoff gate, with the worker under its lease cap. ok is false when
+// nothing is claimable right now (all leased, backing off, or finished).
+// A pending cell whose backoff gate is still closed is never handed out,
+// and a live lease is never stolen — expiry is the only way a leased cell
+// returns to the pool.
+func (t *leaseTable) claim(worker string, now time.Time) (idx int, leaseID uint64, ok bool) {
+	if t.liveLeases(worker, now) >= t.cfg.MaxPerWorker {
+		return 0, 0, false
+	}
+	for i := range t.recs {
+		r := &t.recs[i]
+		if r.state != statePending || r.retryAt.After(now) {
+			continue
+		}
+		t.leaseSeq++
+		r.state = stateLeased
+		r.leaseID = t.leaseSeq
+		r.worker = worker
+		r.expiry = now.Add(t.cfg.TTL)
+		return i, r.leaseID, true
+	}
+	return 0, 0, false
+}
+
+// heartbeat extends the lease's deadline; ok is false for a stale lease
+// (expired, superseded, or the cell already done).
+func (t *leaseTable) heartbeat(leaseID uint64, now time.Time) bool {
+	for i := range t.recs {
+		r := &t.recs[i]
+		if r.state == stateLeased && r.leaseID == leaseID {
+			r.expiry = now.Add(t.cfg.TTL)
+			return true
+		}
+	}
+	return false
+}
+
+// completeOK marks cell idx done. The first call transitions the cell and
+// returns first=true; every later call (a duplicate completion after a lost
+// ack, a zombie whose lease expired) is a no-op with first=false — the
+// exactly-once half of the protocol.
+func (t *leaseTable) completeOK(idx int) (first bool) {
+	r := &t.recs[idx]
+	if r.state == stateDone {
+		return false
+	}
+	if r.state == stateQuarantined {
+		// A late success beats a quarantine verdict: the artefact exists
+		// and verified, so the gap closes.
+		r.state = stateDone
+		r.lastErr = ""
+		return true
+	}
+	r.state = stateDone
+	r.leaseID = 0
+	r.worker = ""
+	t.open--
+	return true
+}
+
+// completeFail records a failed attempt on cell idx (an explicit compute
+// failure or a corrupt artefact) and either schedules a backed-off retry or
+// quarantines the cell. Failures reported against a stale lease are ignored
+// — the cell has already moved on. quarantined reports a transition into
+// quarantine.
+func (t *leaseTable) completeFail(idx int, leaseID uint64, errMsg string, now time.Time) (counted, quarantined bool) {
+	r := &t.recs[idx]
+	if r.state != stateLeased || r.leaseID != leaseID {
+		return false, false
+	}
+	return true, t.failAttempt(idx, errMsg, now)
+}
+
+// expire sweeps the table at now: every leased cell whose deadline has
+// passed counts a failed attempt and is retried or quarantined. The
+// callback receives each expiry (for events); it may be nil.
+func (t *leaseTable) expire(now time.Time, fn func(idx int, worker string, quarantined bool)) {
+	for i := range t.recs {
+		r := &t.recs[i]
+		if r.state != stateLeased || r.expiry.After(now) {
+			continue
+		}
+		worker := r.worker
+		q := t.failAttempt(i, "lease expired (worker lost?)", now)
+		if fn != nil {
+			fn(i, worker, q)
+		}
+	}
+}
+
+// failAttempt moves a leased cell through one failure: attempts++, then
+// quarantine at the cap or pending with an exponential backoff gate.
+func (t *leaseTable) failAttempt(idx int, errMsg string, now time.Time) (quarantined bool) {
+	r := &t.recs[idx]
+	r.attempts++
+	r.leaseID = 0
+	r.worker = ""
+	r.lastErr = errMsg
+	if r.attempts >= t.cfg.MaxAttempts {
+		r.state = stateQuarantined
+		t.open--
+		return true
+	}
+	r.state = statePending
+	r.retryAt = now.Add(t.backoff(idx, r.attempts))
+	return false
+}
+
+// backoff returns base·2^(attempts-1) capped at max, plus deterministic
+// jitter in [0, base) keyed by (seed, cell, attempt) — seeded, not sampled
+// from a global stream, so a scripted schedule replays exactly.
+func (t *leaseTable) backoff(idx, attempts int) time.Duration {
+	d := t.cfg.BackoffBase
+	for i := 1; i < attempts && d < t.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > t.cfg.BackoffMax {
+		d = t.cfg.BackoffMax
+	}
+	j := rng.Key2(t.cfg.Seed, uint64(idx), uint64(attempts))
+	return d + time.Duration(j%uint64(t.cfg.BackoffBase))
+}

@@ -1,0 +1,261 @@
+package sweepfarm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mlorass/internal/rng"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func testLeaseCfg() LeaseConfig {
+	return LeaseConfig{
+		TTL:          10 * time.Second,
+		MaxAttempts:  3,
+		BackoffBase:  time.Second,
+		BackoffMax:   8 * time.Second,
+		MaxPerWorker: 2,
+		Seed:         1,
+	}
+}
+
+func TestLeaseClaimGrantsInIndexOrder(t *testing.T) {
+	tab := newLeaseTable(3, testLeaseCfg())
+	for want := 0; want < 3; want++ {
+		idx, id, ok := tab.claim(fmt.Sprintf("w%d", want), t0)
+		if !ok || idx != want || id == 0 {
+			t.Fatalf("claim %d: got idx=%d id=%d ok=%v", want, idx, id, ok)
+		}
+	}
+	if _, _, ok := tab.claim("w9", t0); ok {
+		t.Fatal("claim succeeded with every cell leased")
+	}
+}
+
+func TestLeaseMaxPerWorkerBackpressure(t *testing.T) {
+	tab := newLeaseTable(5, testLeaseCfg())
+	if _, _, ok := tab.claim("w0", t0); !ok {
+		t.Fatal("first claim failed")
+	}
+	if _, _, ok := tab.claim("w0", t0); !ok {
+		t.Fatal("second claim failed")
+	}
+	if _, _, ok := tab.claim("w0", t0); ok {
+		t.Fatal("third claim exceeded MaxPerWorker=2")
+	}
+	if _, _, ok := tab.claim("w1", t0); !ok {
+		t.Fatal("another worker should still claim")
+	}
+}
+
+func TestLeaseNoStealBeforeExpiry(t *testing.T) {
+	cfg := testLeaseCfg()
+	tab := newLeaseTable(1, cfg)
+	_, id, ok := tab.claim("w0", t0)
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	// Heartbeats keep pushing the deadline; the cell must never be
+	// re-claimable while the lease is live.
+	now := t0
+	for i := 0; i < 10; i++ {
+		now = now.Add(cfg.TTL / 2)
+		if !tab.heartbeat(id, now) {
+			t.Fatalf("heartbeat %d rejected on a live lease", i)
+		}
+		tab.expire(now, nil)
+		if _, _, ok := tab.claim("w1", now); ok {
+			t.Fatalf("cell stolen at %v while lease live", now.Sub(t0))
+		}
+	}
+	// Stop heartbeating: one TTL later the lease expires and the cell is
+	// claimable again (after its backoff gate).
+	now = now.Add(cfg.TTL + time.Nanosecond)
+	tab.expire(now, nil)
+	now = now.Add(2 * cfg.BackoffBase) // past base backoff + jitter < base
+	if _, _, ok := tab.claim("w1", now); !ok {
+		t.Fatal("expired cell not re-claimable")
+	}
+	// The zombie's heartbeat must now be rejected.
+	if tab.heartbeat(id, now) {
+		t.Fatal("heartbeat accepted on a superseded lease")
+	}
+}
+
+func TestLeaseBackoffGateDelaysRetry(t *testing.T) {
+	cfg := testLeaseCfg()
+	tab := newLeaseTable(1, cfg)
+	_, id, _ := tab.claim("w0", t0)
+	counted, q := tab.completeFail(0, id, "boom", t0)
+	if !counted || q {
+		t.Fatalf("completeFail: counted=%v quarantined=%v", counted, q)
+	}
+	if _, _, ok := tab.claim("w0", t0); ok {
+		t.Fatal("claim succeeded inside the backoff window")
+	}
+	// Base + jitter < 2·base: past that the cell must be claimable.
+	if _, _, ok := tab.claim("w0", t0.Add(2*cfg.BackoffBase)); !ok {
+		t.Fatal("claim failed after the backoff window")
+	}
+}
+
+func TestLeaseQuarantineAfterExactlyK(t *testing.T) {
+	cfg := testLeaseCfg() // MaxAttempts = 3
+	tab := newLeaseTable(1, cfg)
+	now := t0
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		idx, id, ok := tab.claim("w0", now)
+		if !ok || idx != 0 {
+			t.Fatalf("attempt %d: claim failed", attempt)
+		}
+		_, q := tab.completeFail(0, id, "boom", now)
+		wantQ := attempt == cfg.MaxAttempts
+		if q != wantQ {
+			t.Fatalf("attempt %d: quarantined=%v, want %v", attempt, q, wantQ)
+		}
+		now = now.Add(time.Minute) // clear any backoff gate
+	}
+	if !tab.finished() {
+		t.Fatal("table not finished after quarantine")
+	}
+	if _, _, ok := tab.claim("w0", now); ok {
+		t.Fatal("quarantined cell was re-claimed")
+	}
+	if tab.recs[0].attempts != cfg.MaxAttempts {
+		t.Fatalf("attempts = %d, want exactly %d", tab.recs[0].attempts, cfg.MaxAttempts)
+	}
+}
+
+func TestLeaseDuplicateCompleteCountsOnce(t *testing.T) {
+	tab := newLeaseTable(1, testLeaseCfg())
+	tab.claim("w0", t0)
+	if !tab.completeOK(0) {
+		t.Fatal("first complete not first")
+	}
+	for i := 0; i < 3; i++ {
+		if tab.completeOK(0) {
+			t.Fatal("duplicate complete reported as first")
+		}
+	}
+	if !tab.finished() {
+		t.Fatal("not finished")
+	}
+}
+
+func TestLeaseStaleFailureIgnored(t *testing.T) {
+	cfg := testLeaseCfg()
+	tab := newLeaseTable(1, cfg)
+	_, id, _ := tab.claim("w0", t0)
+	// The lease expires; the cell is re-leased to w1.
+	now := t0.Add(cfg.TTL + time.Nanosecond)
+	tab.expire(now, nil)
+	now = now.Add(2 * cfg.BackoffBase)
+	_, id2, ok := tab.claim("w1", now)
+	if !ok {
+		t.Fatal("re-claim failed")
+	}
+	// The zombie's failure report lands late: it must not count against
+	// w1's live attempt.
+	counted, _ := tab.completeFail(0, id, "zombie says boom", now)
+	if counted {
+		t.Fatal("stale failure counted against a live lease")
+	}
+	if counted, _ := tab.completeFail(0, id2, "real", now); !counted {
+		t.Fatal("live failure not counted")
+	}
+}
+
+// TestLeasePropertyRandomSchedules drives the table through seeded random
+// op schedules and checks the three lease-machine invariants after every
+// step: (1) no cell is counted done twice, (2) no live lease is ever
+// stolen before expiry, (3) a cell quarantines after exactly MaxAttempts
+// failed attempts and never runs again.
+func TestLeasePropertyRandomSchedules(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			src := rng.New(seed)
+			cfg := testLeaseCfg()
+			cfg.MaxAttempts = 2 + int(src.Uint64()%3)
+			const cells = 8
+			tab := newLeaseTable(cells, cfg)
+			now := t0
+
+			type liveLease struct {
+				id     uint64
+				expiry time.Time
+			}
+			live := map[int]liveLease{} // cell -> lease as granted
+			doneCount := make([]int, cells)
+			failCount := make([]int, cells)
+			quarantinedAt := make([]int, cells) // fail count when quarantined
+
+			for step := 0; step < 400 && !tab.finished(); step++ {
+				switch src.Uint64() % 5 {
+				case 0: // claim
+					w := fmt.Sprintf("w%d", src.Uint64()%3)
+					idx, id, ok := tab.claim(w, now)
+					if !ok {
+						break
+					}
+					if l, isLive := live[idx]; isLive && l.expiry.After(now) {
+						t.Fatalf("step %d: cell %d re-leased while lease %d live until %v (now %v)",
+							step, idx, l.id, l.expiry, now)
+					}
+					live[idx] = liveLease{id: id, expiry: now.Add(cfg.TTL)}
+				case 1: // heartbeat a random live lease
+					for idx, l := range live {
+						if tab.heartbeat(l.id, now) {
+							live[idx] = liveLease{id: l.id, expiry: now.Add(cfg.TTL)}
+						}
+						break
+					}
+				case 2: // complete a random leased cell, possibly duplicated
+					for idx := range live {
+						n := 1 + int(src.Uint64()%2)
+						for i := 0; i < n; i++ {
+							if tab.completeOK(idx) {
+								doneCount[idx]++
+							}
+						}
+						delete(live, idx)
+						break
+					}
+				case 3: // fail a random leased cell
+					for idx, l := range live {
+						counted, q := tab.completeFail(idx, l.id, "boom", now)
+						if counted {
+							failCount[idx]++
+						}
+						if q {
+							quarantinedAt[idx] = failCount[idx]
+						}
+						delete(live, idx)
+						break
+					}
+				case 4: // advance time (sometimes past TTL) and expire
+					now = now.Add(time.Duration(src.Uint64()%uint64(2*cfg.TTL)) + time.Millisecond)
+					tab.expire(now, func(idx int, _ string, q bool) {
+						failCount[idx]++
+						if q {
+							quarantinedAt[idx] = failCount[idx]
+						}
+						delete(live, idx)
+					})
+				}
+				for i := 0; i < cells; i++ {
+					if doneCount[i] > 1 {
+						t.Fatalf("step %d: cell %d done %d times", step, i, doneCount[i])
+					}
+					if quarantinedAt[i] != 0 && quarantinedAt[i] != cfg.MaxAttempts {
+						t.Fatalf("step %d: cell %d quarantined after %d attempts, want exactly %d",
+							step, i, quarantinedAt[i], cfg.MaxAttempts)
+					}
+				}
+			}
+		})
+	}
+}

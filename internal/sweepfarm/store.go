@@ -1,0 +1,27 @@
+package sweepfarm
+
+import "time"
+
+// ArtifactStore is the farm's view of the content-addressed artefact store.
+// *runstore.Store implements it; the fault-injection harness wraps it with
+// torn writes and the tests with in-memory fakes. Keys are content
+// addresses, so concurrent writers of one key write the same bytes and
+// last-write-wins is safe; the advisory claim keeps a torn writer (a
+// non-atomic filesystem, a crashed process) from interleaving with a
+// reader.
+type ArtifactStore interface {
+	// Get returns the artefact under key; ok=false when absent.
+	Get(key string) (data []byte, ok bool, err error)
+	// Put persists data under key atomically.
+	Put(key string, data []byte) error
+	// Claim takes the advisory per-key write claim for owner; ok=false
+	// when another owner holds it.
+	Claim(key, owner string) (ok bool, err error)
+	// Release drops the advisory claim on key (any owner's — breaking a
+	// crashed writer's stale claim is the caller's decision, made on the
+	// caller's clock against ClaimInfo's age).
+	Release(key string) error
+	// ClaimInfo reports the current claim holder and when the claim was
+	// taken; held=false when the key is unclaimed.
+	ClaimInfo(key string) (owner string, since time.Time, held bool, err error)
+}

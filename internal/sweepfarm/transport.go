@@ -1,0 +1,83 @@
+package sweepfarm
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrLost is what a dropped message looks like from the sender's side: the
+// call failed, and the sender cannot know whether the receiver processed it
+// (the request may have been lost on the way in, or the reply on the way
+// out). Workers treat every transport error this way — retry until the
+// coordinator's answer settles the question — which is exactly what makes
+// duplicate completions possible and why the coordinator dedupes them.
+var ErrLost = errors.New("sweepfarm: message lost")
+
+// ClaimRequest asks the coordinator for a cell lease.
+type ClaimRequest struct {
+	Worker string
+}
+
+// ClaimReply grants a lease, reports nothing claimable right now, or tells
+// the worker the sweep is finished.
+type ClaimReply struct {
+	// OK means Cell/LeaseID/TTL carry a granted lease.
+	OK bool
+	// Done means every cell is done or quarantined; the worker can exit.
+	Done    bool
+	Cell    Cell
+	LeaseID uint64
+	// TTL is the lease's lifetime; the worker heartbeats well inside it.
+	TTL time.Duration
+}
+
+// HeartbeatRequest extends a lease while its cell computes. SentAt is the
+// worker's local clock reading — deliberately carried and deliberately
+// ignored by the coordinator, which does all lease arithmetic on its own
+// clock (the clock-skew schedules prove the protocol never trusts it).
+type HeartbeatRequest struct {
+	Worker  string
+	LeaseID uint64
+	SentAt  time.Time
+}
+
+// HeartbeatReply acknowledges a heartbeat; OK=false marks a stale lease
+// (expired and re-leased, or the cell already completed elsewhere).
+type HeartbeatReply struct {
+	OK bool
+}
+
+// CompleteRequest reports a cell attempt's outcome. For store-backed cells
+// (Cell.Key != "") the artefact travels through the store and the request
+// carries only the claim that it is there — the coordinator re-reads and
+// re-verifies it, which is what catches torn writes. Keyless cells carry
+// the artefact inline. A non-empty Failed reports a compute failure.
+type CompleteRequest struct {
+	Worker  string
+	LeaseID uint64
+	Cell    Cell
+	// Artifact is the inline payload for keyless cells (nil otherwise).
+	Artifact []byte
+	// Cached reports the worker found the artefact already in the store
+	// instead of computing it.
+	Cached bool
+	// Failed carries the compute error; empty means success.
+	Failed string
+}
+
+// CompleteReply acknowledges a completion report. Accepted=false tells the
+// worker the artefact did not verify (the attempt was counted as a
+// failure); the worker moves on either way.
+type CompleteReply struct {
+	Accepted bool
+}
+
+// Transport is the worker's view of the coordinator. The in-process farm
+// hands workers the *Coordinator itself (direct calls); a distributed
+// deployment substitutes an RPC client; the fault-injection harness wraps
+// either with scripted loss, duplication and delay.
+type Transport interface {
+	Claim(ClaimRequest) (ClaimReply, error)
+	Heartbeat(HeartbeatRequest) (HeartbeatReply, error)
+	Complete(CompleteRequest) (CompleteReply, error)
+}
