@@ -18,6 +18,20 @@
 //	sweepd -fig 8 -quick -listen :9109 -progress     # live lease/retry dashboard
 //	sweepd -fig 8 -lease-ttl 10s -attempts 6         # lease tuning
 //
+// The same binary is both halves of a multi-process farm (see README
+// "Sweep farm" for the wire mode):
+//
+//	sweepd -fig 8 -env urban -store /shared/cache -serve :7600     # coordinator
+//	sweepd -fig 8 -env urban -store /shared/cache -connect host:7600  # worker (any number)
+//
+// -serve owns the sweep: it leases cells to remote workers over TCP, merges
+// exactly once, and prints the same tables the in-process mode prints.
+// -connect is a disposable worker process: kill -9 it mid-sweep and its
+// leases expire and re-run elsewhere; start another and it just joins. Both
+// sides must be given the same figure/env/scale/seed/reps flags (the worker
+// refuses cells whose identity does not match its locally derived grid) and,
+// when -store is used, a shared store directory.
+//
 // With -store, a killed sweepd (or a crashed machine) loses nothing: the
 // next invocation recovers every persisted cell from the store and computes
 // only the remainder. Without -store, artefacts travel inline and a restart
@@ -27,6 +41,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"time"
@@ -35,6 +50,7 @@ import (
 	"mlorass/internal/obs"
 	"mlorass/internal/runstore"
 	"mlorass/internal/sweepfarm"
+	"mlorass/internal/sweepfarm/wire"
 	"mlorass/internal/telemetry"
 )
 
@@ -63,6 +79,11 @@ func run(args []string) (err error) {
 		inflight    = fs.Int("inflight", 2, "max cells in flight per worker (lease cap and compute concurrency)")
 		listen      = fs.String("listen", "", "serve live observability on this address while the sweep runs: dashboard with per-worker lease/retry/quarantine tiles, /metrics, /spans, /debug/pprof/*")
 		progress    = fs.Bool("progress", false, "render the sweep as one live status line on stderr instead of per-cell lines")
+		serve       = fs.String("serve", "", "run as the coordinator half of a multi-process farm: lease cells to remote sweepd -connect workers on this address instead of running local workers (requires a single -env)")
+		connect     = fs.String("connect", "", "run as a worker process against a sweepd -serve coordinator at this address; computes cells until the coordinator reports the sweep done (requires the same figure/env/scale/seed/reps flags as the coordinator)")
+		workerID    = fs.String("id", "", "worker name in leases and events for -connect (default: hostname-pid)")
+		giveUp      = fs.Duration("giveup", time.Minute, "with -connect: exit with an error after this long without one successful coordinator call (the supervision signal that the coordinator is gone)")
+		drain       = fs.Duration("drain", 2*time.Second, "with -serve: keep answering workers for this long after the sweep completes, so connected workers learn it is done and exit cleanly")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +110,25 @@ func run(args []string) (err error) {
 	}
 	if *progress && *quiet {
 		return fmt.Errorf("-progress and -quiet are contradictory: one asks for a live status line, the other for silence")
+	}
+	if *serve != "" && *connect != "" {
+		return fmt.Errorf("-serve and -connect are exclusive: a process is the coordinator or a worker, not both")
+	}
+	if *serve != "" || *connect != "" {
+		// Cell indexes restart per environment, so a remote worker cannot
+		// tell which environment's grid a lease belongs to; the wire mode
+		// pins one per process.
+		if *envName != "urban" && *envName != "rural" {
+			return fmt.Errorf("-serve/-connect need a single environment (-env urban or -env rural); %q is ambiguous over the wire", *envName)
+		}
+	}
+	if *connect != "" {
+		if *listen != "" {
+			return fmt.Errorf("-connect is a worker process; -listen (observability) belongs on the -serve side, which sees every worker's events")
+		}
+		if *progress {
+			return fmt.Errorf("-connect is a worker process; -progress belongs on the -serve side, which tracks the whole sweep")
+		}
 	}
 
 	base := experiment.DefaultConfig()
@@ -122,22 +162,44 @@ func run(args []string) (err error) {
 		fmt.Fprintf(os.Stderr, "sweepd: observability at %s/ (metrics, spans, pprof)\n", url)
 	}
 
-	for _, env := range envs {
-		if err := sweepEnv(base, env, store, tracker, sweepOpts{
-			fig: *fig, workers: *workers, reps: *reps,
-			quiet: *quiet, progress: *progress, percentiles: *percentiles,
-			lease: sweepfarm.LeaseConfig{
-				TTL:          *leaseTTL,
-				MaxAttempts:  *attempts,
-				BackoffBase:  *backoff,
-				MaxPerWorker: *inflight,
-				Seed:         base.Seed,
-			},
-		}); err != nil {
-			return err
-		}
+	opts := sweepOpts{
+		fig: *fig, workers: *workers, reps: *reps,
+		quiet: *quiet, progress: *progress, percentiles: *percentiles,
+		lease: sweepfarm.LeaseConfig{
+			TTL:          *leaseTTL,
+			MaxAttempts:  *attempts,
+			BackoffBase:  *backoff,
+			MaxPerWorker: *inflight,
+			Seed:         base.Seed,
+		},
 	}
-	return nil
+	switch {
+	case *connect != "":
+		id := *workerID
+		if id == "" {
+			id = defaultWorkerID()
+		}
+		return connectSweep(*connect, base, envs[0], store, opts, id, *giveUp)
+	case *serve != "":
+		return serveSweep(*serve, base, envs[0], store, tracker, opts, *drain)
+	default:
+		for _, env := range envs {
+			if err := sweepEnv(base, env, store, tracker, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// defaultWorkerID names a -connect worker after its host and pid, so two
+// workers on one machine (or twenty across a cluster) never collide.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
 type sweepOpts struct {
@@ -150,26 +212,46 @@ type sweepOpts struct {
 	lease       sweepfarm.LeaseConfig
 }
 
-// sweepEnv runs one environment's figure grid through the farm and prints
-// the table block (and, when cells were lost to quarantine, the gap report).
-func sweepEnv(base experiment.Config, env experiment.Environment, store *runstore.Store,
-	tracker *obs.SweepTracker, o sweepOpts) error {
+// envRun is one environment's prepared sweep: the grid, the (optional)
+// store, and the event handler feeding tracker + stderr. Both execution
+// modes — in-process farm and wire-served coordinator — run the same
+// preparation and the same rendering, which is what keeps their stdout
+// byte-identical.
+type envRun struct {
+	fsweep    *experiment.FarmSweep
+	cells     []sweepfarm.Cell
+	artifacts sweepfarm.ArtifactStore
+	events    func(sweepfarm.Event)
+	recovered *int
+	before    runstore.Stats
+	store     *runstore.Store
+	tracker   *obs.SweepTracker
+	o         sweepOpts
+	// remote means the compute ran in -connect worker processes, whose
+	// store writes this process cannot count.
+	remote bool
+}
 
-	var before runstore.Stats
+// prepareEnv builds one environment's cells, event wiring and telemetry
+// plumbing. workers is the tracker's announced pool size (0 when the pool
+// is remote and unknown).
+func prepareEnv(base experiment.Config, env experiment.Environment, store *runstore.Store,
+	tracker *obs.SweepTracker, o sweepOpts, workers int) *envRun {
+
+	r := &envRun{store: store, tracker: tracker, o: o, recovered: new(int)}
 	if store != nil {
-		before = store.Stats()
+		r.before = store.Stats()
 	}
-	tracker.Begin(fmt.Sprintf("fig %s %s", o.fig, env), o.workers)
+	tracker.Begin(fmt.Sprintf("fig %s %s", o.fig, env), workers)
 
-	fsweep := experiment.NewFarmSweep(base, env, o.reps)
-	cells := fsweep.Cells()
-	var artifacts sweepfarm.ArtifactStore
+	r.fsweep = experiment.NewFarmSweep(base, env, o.reps)
+	r.cells = r.fsweep.Cells()
 	if store != nil {
-		artifacts = store
+		r.artifacts = store
 	} else {
 		// No durable store: artefacts travel inline in completion messages.
-		for i := range cells {
-			cells[i].Key = ""
+		for i := range r.cells {
+			r.cells[i].Key = ""
 		}
 	}
 
@@ -177,9 +259,8 @@ func sweepEnv(base experiment.Config, env experiment.Environment, store *runstor
 	// handler below is single-threaded: lastSnap set by OnResult is consumed
 	// by the Done event that immediately follows the same absorption.
 	var lastSnap telemetry.Snapshot
-	recovered := 0
-	fsweep.OnResult = func(res *experiment.Result) { lastSnap = res.Telemetry }
-	events := func(e sweepfarm.Event) {
+	r.fsweep.OnResult = func(res *experiment.Result) { lastSnap = res.Telemetry }
+	r.events = func(e sweepfarm.Event) {
 		switch e.Kind {
 		case sweepfarm.EventLeased:
 			tracker.FarmLeased(e.Worker)
@@ -188,7 +269,7 @@ func sweepEnv(base experiment.Config, env experiment.Environment, store *runstor
 			tracker.CellDone(e.Done, e.Total, e.Cached, lastSnap)
 			lastSnap = telemetry.Snapshot{}
 			if e.Cached {
-				recovered++
+				*r.recovered++
 			}
 		case sweepfarm.EventDuplicate:
 			tracker.FarmSettled(e.Worker)
@@ -216,40 +297,146 @@ func sweepEnv(base experiment.Config, env experiment.Environment, store *runstor
 			fmt.Fprintf(os.Stderr, "  QUARANTINED %s after %d attempts: %s\n", e.Cell.Label, e.Attempt, e.Err)
 		}
 	}
+	return r
+}
 
-	farm, err := sweepfarm.New(cells, fsweep.Run, artifacts, nil, sweepfarm.FarmConfig{
-		Workers: o.workers,
-		Worker:  sweepfarm.WorkerConfig{Concurrency: o.lease.MaxPerWorker},
-		Lease:   o.lease,
-		Verify:  fsweep.Verify,
-		Absorb:  fsweep.Absorb,
-		Events:  events,
-	})
-	if err != nil {
-		return err
-	}
-	rep, err := farm.Run()
+// finish renders the sweep's outcome: tracker teardown, the store recovery
+// line, the figure tables and the gap report.
+func (r *envRun) finish(rep sweepfarm.Report, runErr error) error {
 	for i := 0; i < rep.Crashes; i++ {
-		tracker.FarmCrash()
+		r.tracker.FarmCrash()
 	}
-	tracker.Finish()
-	if o.progress {
+	r.tracker.Finish()
+	if r.o.progress {
 		fmt.Fprintln(os.Stderr) // seal the status line
 	}
-	if err != nil {
-		return err
+	if runErr != nil {
+		return runErr
 	}
-	if store != nil {
-		st := store.Stats()
+	switch {
+	case r.store != nil && r.remote:
+		// Remote workers persist into the shared store from their own
+		// processes; this side only sees what it recovered vs merged.
+		fmt.Fprintf(os.Stderr, "sweepd: store %s: %d recovered, %d computed by remote workers\n",
+			r.store.Dir(), *r.recovered, rep.Done-*r.recovered)
+	case r.store != nil:
+		st := r.store.Stats()
 		fmt.Fprintf(os.Stderr, "sweepd: store %s: %d recovered, %d simulated and persisted\n",
-			store.Dir(), recovered, st.Puts-before.Puts)
+			r.store.Dir(), *r.recovered, st.Puts-r.before.Puts)
 	}
-	experiment.RenderFigureTables(os.Stdout, fsweep.Points(), o.reps, o.percentiles)
+	experiment.RenderFigureTables(os.Stdout, r.fsweep.Points(), r.o.reps, r.o.percentiles)
 	if gaps := rep.Gaps(); gaps != "" {
 		// The explicit gap contract: a sweep missing cells says so on
 		// stdout, right under the tables it could not fill.
 		fmt.Print(gaps)
 	}
+	return nil
+}
+
+// sweepEnv runs one environment's figure grid through the in-process farm
+// and prints the table block (and, when cells were lost to quarantine, the
+// gap report).
+func sweepEnv(base experiment.Config, env experiment.Environment, store *runstore.Store,
+	tracker *obs.SweepTracker, o sweepOpts) error {
+
+	r := prepareEnv(base, env, store, tracker, o, o.workers)
+	farm, err := sweepfarm.New(r.cells, r.fsweep.Run, r.artifacts, nil, sweepfarm.FarmConfig{
+		Workers: o.workers,
+		Worker:  sweepfarm.WorkerConfig{Concurrency: o.lease.MaxPerWorker},
+		Lease:   o.lease,
+		Verify:  r.fsweep.Verify,
+		Absorb:  r.fsweep.Absorb,
+		Events:  r.events,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := farm.Run()
+	return r.finish(rep, err)
+}
+
+// serveSweep runs one environment's grid as the coordinator half of a
+// multi-process farm: cells are leased to remote sweepd -connect workers
+// over TCP, and the tables print here once every cell is done or
+// quarantined. After the sweep completes the server keeps answering for the
+// drain window so connected workers hear "done" and exit cleanly, instead
+// of dying with ErrLost against a vanished coordinator.
+func serveSweep(addr string, base experiment.Config, env experiment.Environment,
+	store *runstore.Store, tracker *obs.SweepTracker, o sweepOpts, drain time.Duration) error {
+
+	r := prepareEnv(base, env, store, tracker, o, 0)
+	r.remote = true
+	coord, err := sweepfarm.NewCoordinator(r.cells, r.artifacts, nil, sweepfarm.CoordConfig{
+		Lease:  o.lease,
+		Verify: r.fsweep.Verify,
+		Absorb: r.fsweep.Absorb,
+		Events: r.events,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := wire.NewServer(coord, wire.ServerConfig{
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, "sweepd: "+format+"\n", args...) },
+	})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "sweepd: coordinating fig %s %s on %s (%d cells; workers join with -connect)\n",
+		o.fig, env, ln.Addr(), len(r.cells))
+
+	<-coord.DoneCh()
+	time.Sleep(drain)
+	srv.Close()
+	if err := <-serveErr; err != nil {
+		return r.finish(coord.Report(), err)
+	}
+	return r.finish(coord.Report(), nil)
+}
+
+// connectSweep runs one worker process against a sweepd -serve coordinator.
+// The worker derives the same cell grid from its own flags and refuses any
+// leased cell whose identity (key, label) does not match — the loud failure
+// mode for a figure/env/scale/seed mismatch between the two processes. It
+// exits 0 once the coordinator reports the sweep done, and with an error if
+// the coordinator stays unreachable for the give-up window.
+func connectSweep(addr string, base experiment.Config, env experiment.Environment,
+	store *runstore.Store, o sweepOpts, id string, giveUp time.Duration) error {
+
+	fsweep := experiment.NewFarmSweep(base, env, o.reps)
+	local := fsweep.Cells()
+	var artifacts sweepfarm.ArtifactStore
+	if store != nil {
+		artifacts = store
+	} else {
+		for i := range local {
+			local[i].Key = ""
+		}
+	}
+	run := func(c sweepfarm.Cell) ([]byte, error) {
+		if c.Index < 0 || c.Index >= len(local) {
+			return nil, fmt.Errorf("leased cell index %d is outside this worker's %d-cell grid — figure/env/scale flags disagree with the coordinator", c.Index, len(local))
+		}
+		if lc := local[c.Index]; lc.Key != c.Key || lc.Label != c.Label {
+			return nil, fmt.Errorf("leased cell %d is %q (key %.12s) but this worker derives %q (key %.12s) — seed/reps/store flags disagree with the coordinator",
+				c.Index, c.Label, c.Key, lc.Label, lc.Key)
+		}
+		return fsweep.Run(c)
+	}
+	client := wire.NewClient(wire.ClientConfig{Addr: addr})
+	defer client.Close()
+	w := sweepfarm.NewWorker(sweepfarm.WorkerConfig{
+		ID:          id,
+		Concurrency: o.lease.MaxPerWorker,
+		GiveUp:      giveUp,
+	}, client, artifacts, run, fsweep.Verify, nil, nil)
+	fmt.Fprintf(os.Stderr, "sweepd: worker %s computing fig %s %s via %s\n", id, o.fig, env, addr)
+	if err := w.Run(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: worker %s: sweep complete\n", id)
 	return nil
 }
 

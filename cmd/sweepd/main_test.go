@@ -1,11 +1,46 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
+
+// helperSep separates arguments inside SWEEPD_HELPER_ARGS; environment
+// variables cannot carry NUL, and 0x1f never appears in sweepd flags.
+const helperSep = "\x1f"
+
+// TestMain doubles as a sweepd re-exec hook: when SWEEPD_HELPER_ARGS is set
+// the test binary behaves exactly like the sweepd CLI with those arguments.
+// The multi-process wire tests use this to spawn real coordinator and
+// worker processes without needing a prebuilt binary.
+func TestMain(m *testing.M) {
+	if raw, ok := os.LookupEnv("SWEEPD_HELPER_ARGS"); ok {
+		if err := run(strings.Split(raw, helperSep)); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// sweepdCmd builds a subprocess that re-executes this test binary as sweepd
+// with the given CLI arguments. The context kills it on timeout.
+func sweepdCmd(ctx context.Context, args ...string) *exec.Cmd {
+	cmd := exec.CommandContext(ctx, os.Args[0])
+	cmd.Env = append(os.Environ(), "SWEEPD_HELPER_ARGS="+strings.Join(args, helperSep))
+	return cmd
+}
 
 func TestFlagValidation(t *testing.T) {
 	for _, tc := range []struct {
@@ -20,6 +55,11 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-inflight", "0"}, "-inflight"},
 		{[]string{"-progress", "-quiet"}, "contradictory"},
 		{[]string{"-env", "lunar"}, "unknown environment"},
+		{[]string{"-serve", "x:1", "-connect", "y:1"}, "exclusive"},
+		{[]string{"-serve", "x:1"}, "ambiguous over the wire"},
+		{[]string{"-connect", "y:1"}, "ambiguous over the wire"},
+		{[]string{"-connect", "y:1", "-env", "urban", "-listen", ":0"}, "-listen"},
+		{[]string{"-connect", "y:1", "-env", "urban", "-progress"}, "-progress belongs"},
 	} {
 		err := run(tc.args)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -49,6 +89,33 @@ func TestWorkerName(t *testing.T) {
 	}
 }
 
+// captureRun executes run(args) in-process with stdout redirected, failing
+// the test on any run error, and returns what was printed.
+func captureRun(t *testing.T, args []string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	got := make(chan string)
+	go func() {
+		var buf strings.Builder
+		io.Copy(&buf, r)
+		got <- buf.String()
+	}()
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out := <-got
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return out
+}
+
 // TestRunQuickSweep drives the real farm end to end through the CLI entry
 // point — a quick urban grid with a store, run twice so both the compute
 // path and the recover-from-store path execute, and the tables must agree
@@ -59,43 +126,151 @@ func TestRunQuickSweep(t *testing.T) {
 	args := []string{"-fig", "8", "-quick", "-env", "urban", "-seed", "1",
 		"-workers", "4", "-quiet", "-store", filepath.Join(dir, "store")}
 
-	capture := func() string {
-		old := os.Stdout
-		r, w, err := os.Pipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		os.Stdout = w
-		got := make(chan []byte)
-		go func() {
-			var buf strings.Builder
-			b := make([]byte, 4096)
-			for {
-				n, err := r.Read(b)
-				buf.Write(b[:n])
-				if err != nil {
-					break
-				}
-			}
-			got <- []byte(buf.String())
-		}()
-		runErr := run(args)
-		w.Close()
-		os.Stdout = old
-		out := <-got
-		r.Close()
-		if runErr != nil {
-			t.Fatal(runErr)
-		}
-		return string(out)
-	}
-
-	first := capture()
+	first := captureRun(t, args)
 	if !strings.Contains(first, "gw") {
 		t.Fatalf("first run printed no tables:\n%s", first)
 	}
-	second := capture()
+	second := captureRun(t, args)
 	if first != second {
 		t.Fatal("resumed run's tables differ from the first run's")
+	}
+}
+
+var serveAddrRe = regexp.MustCompile(` on (127\.0\.0\.1:\d+) \(`)
+
+// startServe launches a sweepd -serve subprocess, waits for it to announce
+// its listen address on stderr, and returns the address, the stdout buffer
+// the tables will land in, and a channel of its remaining stderr lines
+// (closed when the process's stderr reaches EOF).
+func startServe(ctx context.Context, t *testing.T, args []string) (*exec.Cmd, string, *bytes.Buffer, <-chan string) {
+	t.Helper()
+	cmd := sweepdCmd(ctx, args...)
+	var tables bytes.Buffer
+	cmd.Stdout = &tables
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 1024)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				cmd.Wait()
+				t.Fatal("coordinator exited before announcing its address")
+			}
+			if m := serveAddrRe.FindStringSubmatch(line); m != nil {
+				return cmd, m[1], &tables, lines
+			}
+		case <-ctx.Done():
+			t.Fatal("timed out waiting for the coordinator to announce its address")
+		}
+	}
+}
+
+// TestServeSurvivesWorkerKill is the multi-process supervision proof: a
+// -serve coordinator and two -connect worker processes over loopback TCP,
+// one worker SIGKILLed mid-sweep. The coordinator must finish the sweep on
+// the surviving worker (expired leases re-queue the dead worker's cells)
+// and print tables byte-identical to the in-process run. A second
+// serve+worker round over the same store must then recover every cell.
+func TestServeSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep is slow; skipped in -short")
+	}
+	base := []string{"-fig", "8", "-quick", "-env", "urban", "-seed", "1", "-reps", "1"}
+	want := captureRun(t, append(append([]string{}, base...), "-workers", "4", "-quiet"))
+
+	store := filepath.Join(t.TempDir(), "store")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Short lease TTL so the killed worker's in-flight cells re-queue
+	// quickly instead of waiting out the default 30s.
+	serveArgs := append(append([]string{}, base...),
+		"-store", store, "-serve", "127.0.0.1:0", "-lease-ttl", "2s", "-drain", "2s")
+	serve, addr, tables, lines := startServe(ctx, t, serveArgs)
+
+	workerCmd := func(id string) *exec.Cmd {
+		args := append(append([]string{}, base...),
+			"-store", store, "-connect", addr, "-id", id, "-giveup", "30s")
+		return sweepdCmd(ctx, args...)
+	}
+	victim := workerCmd("wa")
+	victim.Stdout, victim.Stderr = io.Discard, io.Discard
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Wait() // reaps the SIGKILL; its error is the point
+	survivor := workerCmd("wb")
+	var survivorLog bytes.Buffer
+	survivor.Stdout, survivor.Stderr = io.Discard, &survivorLog
+	if err := survivor.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch the coordinator's per-cell lines; the first one attributed to
+	// wa proves it is actively computing — kill it there, mid-sweep.
+	killed := false
+	var serveLog strings.Builder
+	for line := range lines {
+		serveLog.WriteString(line + "\n")
+		if !killed && strings.Contains(line, "(wa)") {
+			killed = true
+			if err := victim.Process.Kill(); err != nil {
+				t.Fatalf("killing worker wa: %v", err)
+			}
+		}
+	}
+	if err := serve.Wait(); err != nil {
+		t.Fatalf("coordinator failed: %v\nstderr:\n%s", err, serveLog.String())
+	}
+	if !killed {
+		t.Fatalf("never saw a cell completed by wa, so nothing was killed mid-sweep\nstderr:\n%s", serveLog.String())
+	}
+	if err := survivor.Wait(); err != nil {
+		t.Fatalf("surviving worker failed: %v\nstderr:\n%s", err, survivorLog.String())
+	}
+	if got := tables.String(); got != want {
+		t.Errorf("tables after worker kill differ from the in-process run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Store-resumed round: a fresh coordinator over the same store must
+	// recover every cell and print the same tables again.
+	resumeArgs := append(append([]string{}, base...),
+		"-store", store, "-serve", "127.0.0.1:0", "-drain", "5s")
+	serve2, addr2, tables2, lines2 := startServe(ctx, t, resumeArgs)
+	w := sweepdCmd(ctx, append(append([]string{}, base...),
+		"-store", store, "-connect", addr2, "-id", "wc", "-giveup", "30s")...)
+	var wLog bytes.Buffer
+	w.Stdout, w.Stderr = io.Discard, &wLog
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var resumeLog strings.Builder
+	for line := range lines2 {
+		resumeLog.WriteString(line + "\n")
+	}
+	if err := serve2.Wait(); err != nil {
+		t.Fatalf("resumed coordinator failed: %v\nstderr:\n%s", err, resumeLog.String())
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatalf("resume worker failed: %v\nstderr:\n%s", err, wLog.String())
+	}
+	if got := tables2.String(); got != want {
+		t.Errorf("store-resumed tables differ from the in-process run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if !strings.Contains(resumeLog.String(), "recovered") {
+		t.Errorf("resumed coordinator never reported recovered cells\nstderr:\n%s", resumeLog.String())
 	}
 }

@@ -111,12 +111,12 @@ type bcastRec struct {
 	// preempted by a gateway decode); skip is the originally addressed
 	// device, excluded from overhearing either way (as in the serial
 	// engine's overhear loop).
-	dest        int
-	skip        int
-	pow         radio.DBm
-	pos         geo.Point
-	advRCAETX   float64
-	advQueueLen int
+	dest         int
+	skip         int
+	pow          radio.DBm
+	pos          geo.Point
+	advRCAETX    float64
+	advQueueLen  int
 	mStart, mEnd int32
 }
 
@@ -195,8 +195,8 @@ type shardDiag struct {
 
 // sharded is the engine: coordinator state plus one shard per tile.
 type sharded struct {
-	cfg    Config
-	k      int
+	cfg       Config
+	k         int
 	lookahead time.Duration
 
 	fleet   *mobility.Fleet
@@ -215,9 +215,9 @@ type sharded struct {
 	d2dLoss            radio.PathLoss
 	overhearOn         bool
 
-	server     *netserver.Server
-	throughput *stats.TimeSeries
-	plan       *disruption.Plan
+	server               *netserver.Server
+	throughput           *stats.TimeSeries
+	plan                 *disruption.Plan
 	gatewayOutageWindows int
 	deviceFailures       int
 
@@ -249,11 +249,11 @@ type sharded struct {
 	windowBcast []bcastRec
 
 	// Coordinator scratch, reused across windows.
-	freshBuf  []ingestRec
-	airBuf    []airRec
-	macBuf    []macOp
-	settleBuf []settleRec
-	traceBuf  []telemetry.Event
+	freshBuf   []ingestRec
+	airBuf     []airRec
+	macBuf     []macOp
+	settleBuf  []settleRec
+	traceBuf   []telemetry.Event
 	coordTrace []telemetry.Event
 
 	windows int

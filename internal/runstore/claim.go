@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"strings"
 	"time"
 )
@@ -71,14 +70,14 @@ func (s *Store) ClaimInfo(key string) (owner string, since time.Time, held bool,
 	if err != nil {
 		return "", time.Time{}, false, err
 	}
-	data, err := os.ReadFile(p)
+	data, err := s.fsys.ReadFile(p)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return "", time.Time{}, false, nil
 		}
 		return "", time.Time{}, false, fmt.Errorf("runstore: %w", err)
 	}
-	fi, err := os.Stat(p)
+	fi, err := s.fsys.Stat(p)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return "", time.Time{}, false, nil // released between read and stat
@@ -86,4 +85,32 @@ func (s *Store) ClaimInfo(key string) (owner string, since time.Time, held bool,
 		return "", time.Time{}, false, fmt.Errorf("runstore: %w", err)
 	}
 	return string(data), fi.ModTime(), true, nil
+}
+
+// BreakClaim removes key's claim only if it is still the exact claim the
+// caller observed: same owner and same modification time as a prior
+// ClaimInfo read. It returns broken=false — and removes nothing — when the
+// claim has changed hands (the observed holder released and another owner
+// claimed afresh) or vanished. Unconditional Release cannot make that
+// distinction, which is how a staleness-based break could destroy a fresh
+// live claim; BreakClaim narrows the window to the re-check itself.
+func (s *Store) BreakClaim(key, owner string, since time.Time) (broken bool, err error) {
+	p, err := s.claimPath(key)
+	if err != nil {
+		return false, err
+	}
+	cur, curSince, held, err := s.ClaimInfo(key)
+	if err != nil {
+		return false, err
+	}
+	if !held || cur != owner || !curSince.Equal(since) {
+		return false, nil
+	}
+	if err := s.fsys.Remove(p); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil // released between the re-check and the remove
+		}
+		return false, fmt.Errorf("runstore: breaking claim on %q: %w", key, err)
+	}
+	return true, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -122,6 +123,171 @@ func TestClaimCoexistsWithArtifact(t *testing.T) {
 	}
 }
 
+// probeFS wraps the real filesystem, counting claim-inspection calls and
+// optionally failing them — the seam ClaimInfo must flow through for the
+// fault harness to reach it.
+type probeFS struct {
+	real         osFS
+	reads, stats int
+	failRead     error
+	failStat     error
+}
+
+func (p *probeFS) MkdirAll(dir string, perm fs.FileMode) error { return p.real.MkdirAll(dir, perm) }
+func (p *probeFS) CreateTemp(dir, pattern string) (fileHandle, error) {
+	return p.real.CreateTemp(dir, pattern)
+}
+func (p *probeFS) Rename(oldpath, newpath string) error { return p.real.Rename(oldpath, newpath) }
+func (p *probeFS) Remove(name string) error             { return p.real.Remove(name) }
+func (p *probeFS) WriteFileExcl(name string, data []byte) error {
+	return p.real.WriteFileExcl(name, data)
+}
+func (p *probeFS) ReadFile(name string) ([]byte, error) {
+	p.reads++
+	if p.failRead != nil {
+		return nil, p.failRead
+	}
+	return p.real.ReadFile(name)
+}
+func (p *probeFS) Stat(name string) (fs.FileInfo, error) {
+	p.stats++
+	if p.failStat != nil {
+		return nil, p.failStat
+	}
+	return p.real.Stat(name)
+}
+
+// TestClaimInfoRoutesThroughFS is the regression lock for the injectable-fs
+// bypass: ClaimInfo used to call os.ReadFile/os.Stat directly, so injected
+// filesystem faults (and the crash harness) never reached it. Every read it
+// performs must flow through the store's fsys, and an injected failure must
+// surface as ClaimInfo's error.
+func TestClaimInfoRoutesThroughFS(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("cell"))
+	if ok, _ := s.Claim(key, "w0"); !ok {
+		t.Fatal("claim failed")
+	}
+	probe := &probeFS{}
+	s.fsys = probe
+	owner, _, held, err := s.ClaimInfo(key)
+	if err != nil || !held || owner != "w0" {
+		t.Fatalf("ClaimInfo through probe: owner=%q held=%v err=%v", owner, held, err)
+	}
+	if probe.reads != 1 || probe.stats != 1 {
+		t.Fatalf("ClaimInfo bypassed fsys: reads=%d stats=%d, want 1/1", probe.reads, probe.stats)
+	}
+	probe.failRead = fmt.Errorf("injected read fault")
+	if _, _, _, err := s.ClaimInfo(key); err == nil || !strings.Contains(err.Error(), "injected read fault") {
+		t.Fatalf("injected read fault did not surface: %v", err)
+	}
+	probe.failRead = nil
+	probe.failStat = fmt.Errorf("injected stat fault")
+	if _, _, _, err := s.ClaimInfo(key); err == nil || !strings.Contains(err.Error(), "injected stat fault") {
+		t.Fatalf("injected stat fault did not surface: %v", err)
+	}
+}
+
+// TestBreakClaimBreaksObservedStaleClaim: the legitimate break — the claim
+// is exactly the one the breaker observed going stale.
+func TestBreakClaimBreaksObservedStaleClaim(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("cell"))
+	if ok, _ := s.Claim(key, "crashed-worker"); !ok {
+		t.Fatal("claim failed")
+	}
+	// Age the claim two hours, as a crashed holder's lock would.
+	lock := filepath.Join(dir, key[:2], key+".lock")
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	owner, since, held, err := s.ClaimInfo(key)
+	if err != nil || !held || owner != "crashed-worker" {
+		t.Fatalf("ClaimInfo: owner=%q held=%v err=%v", owner, held, err)
+	}
+	broken, err := s.BreakClaim(key, owner, since)
+	if err != nil || !broken {
+		t.Fatalf("BreakClaim(observed stale) = %v, %v; want broken", broken, err)
+	}
+	if _, _, held, _ := s.ClaimInfo(key); held {
+		t.Fatal("claim survived the break")
+	}
+	if ok, err := s.Claim(key, "w1"); err != nil || !ok {
+		t.Fatalf("claim after break: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestBreakClaimRefusesFreshClaim is the TOCTOU regression: between the
+// breaker's ClaimInfo and its break, the stale holder releases and another
+// worker takes a *fresh* claim. An unconditional Release would destroy that
+// live claim mid-write; BreakClaim must refuse because owner/mtime no longer
+// match what the breaker observed.
+func TestBreakClaimRefusesFreshClaim(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("cell"))
+	if ok, _ := s.Claim(key, "slow-holder"); !ok {
+		t.Fatal("claim failed")
+	}
+	lock := filepath.Join(dir, key[:2], key+".lock")
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// The breaker observes the stale claim...
+	owner, since, held, err := s.ClaimInfo(key)
+	if err != nil || !held {
+		t.Fatalf("ClaimInfo: held=%v err=%v", held, err)
+	}
+	// ...and in the race window the holder releases and w9 claims afresh.
+	if err := s.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Claim(key, "w9"); !ok {
+		t.Fatal("fresh claim failed")
+	}
+	broken, err := s.BreakClaim(key, owner, since)
+	if err != nil || broken {
+		t.Fatalf("BreakClaim destroyed a fresh claim: broken=%v err=%v", broken, err)
+	}
+	cur, _, held, err := s.ClaimInfo(key)
+	if err != nil || !held || cur != "w9" {
+		t.Fatalf("fresh claim damaged: owner=%q held=%v err=%v", cur, held, err)
+	}
+	// Same owner re-claiming also counts as fresh: mtime differs.
+	if err := s.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Claim(key, "slow-holder"); !ok {
+		t.Fatal("re-claim failed")
+	}
+	if broken, err := s.BreakClaim(key, "slow-holder", since); err != nil || broken {
+		t.Fatalf("BreakClaim matched a re-claim by mtime: broken=%v err=%v", broken, err)
+	}
+	// Breaking a vanished claim is a quiet no-op.
+	if err := s.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	if broken, err := s.BreakClaim(key, owner, since); err != nil || broken {
+		t.Fatalf("BreakClaim on unclaimed key: broken=%v err=%v", broken, err)
+	}
+	// Malformed keys are rejected like the other claim calls.
+	if _, err := s.BreakClaim("short", "w", time.Time{}); err == nil {
+		t.Error("BreakClaim accepted malformed key")
+	}
+}
+
 // crashFS kills a writer mid-Put, as a process death would: after budget
 // bytes have reached the temp file, every later operation silently does
 // nothing — no error-path cleanup runs, the temp debris stays, the rename
@@ -173,6 +339,20 @@ func (c *crashFS) WriteFileExcl(name string, data []byte) error {
 		return nil
 	}
 	return c.real.WriteFileExcl(name, data)
+}
+
+func (c *crashFS) ReadFile(name string) ([]byte, error) {
+	if c.crashed {
+		return nil, fs.ErrNotExist // a dead process reads nothing
+	}
+	return c.real.ReadFile(name)
+}
+
+func (c *crashFS) Stat(name string) (fs.FileInfo, error) {
+	if c.crashed {
+		return nil, fs.ErrNotExist
+	}
+	return c.real.Stat(name)
 }
 
 func (f *crashFile) Write(p []byte) (int, error) {

@@ -43,6 +43,10 @@ type fsOps interface {
 	// WriteFileExcl creates name with data, failing with fs.ErrExist if
 	// it already exists (the advisory-claim primitive).
 	WriteFileExcl(name string, data []byte) error
+	// ReadFile reads name whole (the claim-inspection primitive).
+	ReadFile(name string) ([]byte, error)
+	// Stat reports name's metadata (a claim's mtime is its age signal).
+	Stat(name string) (fs.FileInfo, error)
 }
 
 // fileHandle is the writable temp-file surface Put needs.
@@ -81,6 +85,8 @@ func (osFS) WriteFileExcl(name string, data []byte) error {
 	}
 	return nil
 }
+func (osFS) ReadFile(name string) ([]byte, error)  { return os.ReadFile(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
 
 // dirOf is filepath.Dir, named for the claim path helper.
 func dirOf(p string) string { return filepath.Dir(p) }

@@ -364,16 +364,17 @@ func TestFarmTornWriteRecovered(t *testing.T) {
 }
 
 // TestFarmSlowWorkerLeaseExpires stalls a worker mid-compute for longer than
-// the lease TTL (heartbeats configured slower than the TTL, so the lease
-// genuinely dies). The cell is re-leased and completed elsewhere; the
-// zombie's late completion is deduped.
+// the lease TTL while every heartbeat is dropped in flight (a live but
+// partitioned worker: its keepalives never arrive, so the lease genuinely
+// dies). The cell is re-leased and completed elsewhere; the zombie's late
+// completion is deduped.
 func TestFarmSlowWorkerLeaseExpires(t *testing.T) {
 	cells := newCells(6)
-	inj := faultinject.New(nil).Stall("", sweepfarm.PhaseMidCompute, 2, 150*time.Millisecond)
-	worker := fastWorker()
-	worker.Heartbeat = time.Second // far beyond the 60ms TTL: stalled lease expires
+	inj := faultinject.New(nil).
+		Stall("", sweepfarm.PhaseMidCompute, 2, 150*time.Millisecond).
+		Message(faultinject.OpHeartbeat, "", 0, faultinject.DropRequest, 0)
 	rec, rep, err := runFarm(t, cells, openStore(t), farmOpts{
-		workers: 2, inj: inj, worker: &worker})
+		workers: 2, inj: inj})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -13,6 +13,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -101,10 +102,33 @@ type tearRule struct {
 	keep float64
 }
 
+// wireKind classifies a wire-level fault (see WrapDial). Wire rules count
+// global event streams across every connection the wrapped dialler opened:
+// dials for refusals, request-frame writes for tears and stalls, reply
+// reads for resets. The wire client writes each request as exactly one
+// Write call, which is what makes "the nth request frame" well defined.
+type wireKind uint8
+
+const (
+	wireRefuse wireKind = iota // nth dial: connection refused
+	wireTear                   // nth request write: half the frame lands, conn dies
+	wireReset                  // nth reply: conn reset before a byte of it arrives
+	wireStall                  // nth request write: held for d first
+)
+
+// wireRule faults a wire event.
+type wireRule struct {
+	kind wireKind
+	nth  int // 1-based; <= 0 matches every occurrence
+	d    time.Duration
+}
+
 // Stats counts the faults a schedule actually fired, so tests can assert
 // the scripted scenario happened rather than silently not matching.
 type Stats struct {
 	Crashes, Stalls, DroppedRequests, DroppedReplies, Duplicated, Delayed, TornWrites int
+	// Wire-level counters (see WrapDial).
+	WireRefusals, TornFrames, ResetReplies, WireStalls int
 }
 
 // Injector holds a fault schedule and implements the farm's injection
@@ -116,6 +140,7 @@ type Injector struct {
 	crashes []crashRule
 	msgs    []msgRule
 	tears   []tearRule
+	wires   []wireRule
 	counts  map[string]int
 	stats   Stats
 }
@@ -149,7 +174,9 @@ func (in *Injector) Stall(worker string, phase sweepfarm.Phase, nth int, d time.
 }
 
 // Message schedules a fault on worker's nth op message ("" = any worker).
-// For Delay faults, d is the hold time.
+// nth <= 0 matches every occurrence — a standing fault (e.g. "drop every
+// heartbeat from w2": a live worker whose keepalives never arrive, the
+// partitioned-worker shape). For Delay faults, d is the hold time.
 func (in *Injector) Message(op Op, worker string, nth int, fault MsgFault, d time.Duration) *Injector {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -163,6 +190,46 @@ func (in *Injector) TearWrite(key string, nth int, keep float64) *Injector {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.tears = append(in.tears, tearRule{key: key, nth: nth, keep: keep})
+	return in
+}
+
+// WireRefuseConnect schedules the nth dial through WrapDial to be refused
+// (nth <= 0: every dial — a coordinator that is simply gone).
+func (in *Injector) WireRefuseConnect(nth int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.wires = append(in.wires, wireRule{kind: wireRefuse, nth: nth})
+	return in
+}
+
+// WireTearFrame schedules the nth request frame to be torn: half its bytes
+// reach the peer, then the connection dies. The receiver sees a torn
+// payload; the sender sees a write error.
+func (in *Injector) WireTearFrame(nth int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.wires = append(in.wires, wireRule{kind: wireTear, nth: nth})
+	return in
+}
+
+// WireResetReply schedules the nth reply to be reset: the request was
+// delivered whole and processed, but the connection dies before a byte of
+// the answer arrives — the wire-level DropReply, and the classic
+// duplicate-completion producer over TCP.
+func (in *Injector) WireResetReply(nth int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.wires = append(in.wires, wireRule{kind: wireReset, nth: nth})
+	return in
+}
+
+// WireStall schedules the nth request frame to be held for d before being
+// written — a frozen link. With d past the caller's exchange deadline the
+// call times out and maps to ErrLost.
+func (in *Injector) WireStall(nth int, d time.Duration) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.wires = append(in.wires, wireRule{kind: wireStall, nth: nth, d: d})
 	return in
 }
 
@@ -236,7 +303,7 @@ func (in *Injector) decide(op Op, worker string) (fault MsgFault, d time.Duratio
 		}
 		k := fmt.Sprintf("msg/%d/%s/%d", op, r.worker, i)
 		in.counts[k]++
-		if in.counts[k] != r.nth {
+		if r.nth > 0 && in.counts[k] != r.nth {
 			continue
 		}
 		switch r.fault {
@@ -252,6 +319,108 @@ func (in *Injector) decide(op Op, worker string) (fault MsgFault, d time.Duratio
 		return r.fault, r.delay, true
 	}
 	return 0, 0, false
+}
+
+// decideWire matches one wire event against the schedule; at most one rule
+// fires per event. classes lists the rule kinds this event can trigger
+// (request writes can tear or stall; dials can only be refused).
+func (in *Injector) decideWire(classes ...wireKind) (wireRule, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.wires {
+		match := false
+		for _, c := range classes {
+			if r.kind == c {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		k := fmt.Sprintf("wire/%d/%d", r.kind, i)
+		in.counts[k]++
+		if r.nth > 0 && in.counts[k] != r.nth {
+			continue
+		}
+		switch r.kind {
+		case wireRefuse:
+			in.stats.WireRefusals++
+		case wireTear:
+			in.stats.TornFrames++
+		case wireReset:
+			in.stats.ResetReplies++
+		case wireStall:
+			in.stats.WireStalls++
+		}
+		return r, true
+	}
+	return wireRule{}, false
+}
+
+// WrapDial wraps dial with the schedule's wire faults: refused connects,
+// torn request frames, resets mid-reply, and stalled writes. The returned
+// dialler is the seam a wire client's ClientConfig.Dial plugs into; every
+// connection it opens is wrapped.
+func (in *Injector) WrapDial(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if _, fired := in.decideWire(wireRefuse); fired {
+			return nil, fmt.Errorf("faultinject: dial %s: connection refused (scripted)", addr)
+		}
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return &faultConn{Conn: conn, in: in}, nil
+	}
+}
+
+// faultConn injects wire faults on one connection. It relies on the wire
+// codec's one-Write-per-frame invariant: each Write is one request event,
+// and the first Read after a successful Write is the start of its reply.
+type faultConn struct {
+	net.Conn
+	in *Injector
+
+	mu           sync.Mutex
+	pendingReply bool
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if r, fired := c.in.decideWire(wireTear, wireStall); fired {
+		switch r.kind {
+		case wireTear:
+			n := len(p) / 2
+			if n > 0 {
+				_, _ = c.Conn.Write(p[:n])
+			}
+			c.Conn.Close()
+			return n, fmt.Errorf("faultinject: torn frame after %d of %d bytes (scripted)", n, len(p))
+		case wireStall:
+			<-c.in.clock.After(r.d)
+		}
+	}
+	n, err := c.Conn.Write(p)
+	if err == nil {
+		c.mu.Lock()
+		c.pendingReply = true
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	startsReply := c.pendingReply
+	c.pendingReply = false
+	c.mu.Unlock()
+	if startsReply {
+		if _, fired := c.in.decideWire(wireReset); fired {
+			c.Conn.Close()
+			return 0, fmt.Errorf("faultinject: connection reset mid-reply (scripted)")
+		}
+	}
+	return c.Conn.Read(p)
 }
 
 // faultyTransport applies message faults around the inner transport.

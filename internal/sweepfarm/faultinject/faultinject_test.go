@@ -47,6 +47,9 @@ func (s memStore) Release(key string) error              { return nil }
 func (s memStore) ClaimInfo(key string) (string, time.Time, bool, error) {
 	return "", time.Time{}, false, nil
 }
+func (s memStore) BreakClaim(key, owner string, since time.Time) (bool, error) {
+	return false, nil
+}
 
 func TestCrashFiresOnNthArrival(t *testing.T) {
 	in := New(nil).Crash("w0", sweepfarm.PhaseMidCompute, 2)

@@ -17,11 +17,17 @@ type ArtifactStore interface {
 	// Claim takes the advisory per-key write claim for owner; ok=false
 	// when another owner holds it.
 	Claim(key, owner string) (ok bool, err error)
-	// Release drops the advisory claim on key (any owner's — breaking a
-	// crashed writer's stale claim is the caller's decision, made on the
-	// caller's clock against ClaimInfo's age).
+	// Release drops the advisory claim on key (any owner's; the caller's
+	// own claim on the happy path).
 	Release(key string) error
 	// ClaimInfo reports the current claim holder and when the claim was
 	// taken; held=false when the key is unclaimed.
 	ClaimInfo(key string) (owner string, since time.Time, held bool, err error)
+	// BreakClaim removes key's claim only if it is still exactly the claim
+	// the caller observed via ClaimInfo — same owner, same take time.
+	// broken=false means the claim changed hands (or vanished) since the
+	// observation, so nothing was removed: the conditional form is what
+	// keeps a staleness-based break from destroying a fresh live claim
+	// taken in the check-then-act window.
+	BreakClaim(key, owner string, since time.Time) (broken bool, err error)
 }

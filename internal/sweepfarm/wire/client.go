@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mlorass/internal/sweepfarm"
+)
+
+// ClientConfig tunes a Client.
+type ClientConfig struct {
+	// Addr is the coordinator's address (host:port).
+	Addr string
+	// DialTimeout bounds one connection attempt. Zero means 2s.
+	DialTimeout time.Duration
+	// Timeout bounds one request-reply exchange on an open connection.
+	// Zero means 5s. A coordinator that takes longer than this to answer
+	// is indistinguishable from a dead one, and the call maps to ErrLost.
+	Timeout time.Duration
+	// MaxFrame overrides DefaultMaxFrame.
+	MaxFrame int
+	// Dial overrides the TCP dial — the fault-injection seam (connect
+	// refusals, torn conns). Nil dials Addr over TCP with DialTimeout.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Client implements sweepfarm.Transport over one coordinator connection.
+// Calls are serialised (the farm protocol is strictly request-reply per
+// connection; a worker's claim loop is serial anyway, and heartbeats are
+// cheap). Every transport-level failure — dial refused, conn reset, torn or
+// garbled frame, deadline blown — is wrapped in sweepfarm.ErrLost: the
+// caller cannot know whether the coordinator processed the request, which
+// is exactly the semantic the farm's retry-and-dedupe machinery expects.
+// The one exception is a decoded KindError reply: that is the coordinator
+// *answering* with a rejection, and it surfaces as a plain error.
+//
+// A failed connection is dropped and the next call redials. When a call
+// fails on a connection reused from an earlier call — the classic stale
+// keepalive to a restarted coordinator — the client transparently retries
+// once on a fresh connection before reporting ErrLost; the protocol is
+// at-least-once by design, so the duplicate send is safe.
+type Client struct {
+	cfg ClientConfig
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewClient returns a client for the coordinator at cfg.Addr. No connection
+// is made until the first call.
+func NewClient(cfg ClientConfig) *Client { return &Client{cfg: cfg} }
+
+var _ sweepfarm.Transport = (*Client)(nil)
+
+// Claim implements sweepfarm.Transport.
+func (c *Client) Claim(req sweepfarm.ClaimRequest) (sweepfarm.ClaimReply, error) {
+	var rep sweepfarm.ClaimReply
+	err := c.call(KindClaimRequest, req, &rep)
+	return rep, err
+}
+
+// Heartbeat implements sweepfarm.Transport.
+func (c *Client) Heartbeat(req sweepfarm.HeartbeatRequest) (sweepfarm.HeartbeatReply, error) {
+	var rep sweepfarm.HeartbeatReply
+	err := c.call(KindHeartbeatRequest, req, &rep)
+	return rep, err
+}
+
+// Complete implements sweepfarm.Transport.
+func (c *Client) Complete(req sweepfarm.CompleteRequest) (sweepfarm.CompleteReply, error) {
+	var rep sweepfarm.CompleteReply
+	err := c.call(KindCompleteRequest, req, &rep)
+	return rep, err
+}
+
+// Close drops the connection. The client remains usable; the next call
+// redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropConn()
+	return nil
+}
+
+// call runs one request-reply exchange.
+func (c *Client) call(kind Kind, req, out any) error {
+	env, err := seal(kind, req)
+	if err != nil {
+		// An unencodable request is a programming error, not a lost message.
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reused := c.conn != nil
+	rep, err := c.exchange(env)
+	if err != nil && reused {
+		// The conn predates this call and may simply have gone stale
+		// (coordinator restart, idle reset). One fresh-dial retry; the
+		// possible duplicate send is what the coordinator dedupes anyway.
+		rep, err = c.exchange(env)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %s to %s: %v", sweepfarm.ErrLost, kind, c.cfg.Addr, err)
+	}
+	if rep.Kind == KindError {
+		var eb errorBody
+		if oerr := open(rep, KindError, &eb); oerr != nil {
+			c.dropConn()
+			return fmt.Errorf("%w: %s to %s: undecodable error reply: %v", sweepfarm.ErrLost, kind, c.cfg.Addr, oerr)
+		}
+		// A decoded rejection is definitive: the coordinator processed the
+		// request and said no. Not ErrLost — do not retry it.
+		return fmt.Errorf("wire: coordinator rejected %s: %s", kind, eb.Message)
+	}
+	if oerr := open(rep, replyKind[kind], out); oerr != nil {
+		// Reply arrived but is not the answer to this request: the stream
+		// is out of sync and the outcome unknown.
+		c.dropConn()
+		return fmt.Errorf("%w: %s to %s: %v", sweepfarm.ErrLost, kind, c.cfg.Addr, oerr)
+	}
+	return nil
+}
+
+// exchange writes env and reads one reply on the current connection,
+// dialling first if necessary. Any failure drops the connection. Callers
+// hold c.mu.
+func (c *Client) exchange(env envelope) (envelope, error) {
+	if c.conn == nil {
+		conn, err := c.dial()
+		if err != nil {
+			return envelope{}, err
+		}
+		c.conn = conn
+	}
+	timeout := c.cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		c.dropConn()
+		return envelope{}, err
+	}
+	if err := WriteFrame(c.conn, env, c.cfg.MaxFrame); err != nil {
+		c.dropConn()
+		return envelope{}, err
+	}
+	rep, err := ReadFrame(c.conn, c.cfg.MaxFrame)
+	if err != nil {
+		c.dropConn()
+		return envelope{}, err
+	}
+	return rep, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial(c.cfg.Addr)
+	}
+	timeout := c.cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return net.DialTimeout("tcp", c.cfg.Addr, timeout)
+}
+
+// dropConn closes and forgets the connection. Callers hold c.mu.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}

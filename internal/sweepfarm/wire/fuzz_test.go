@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+
+	"mlorass/internal/sweepfarm"
+)
+
+// FuzzWireDecode feeds arbitrary byte streams to the frame reader. The
+// contract under fuzz: never panic, never allocate past the frame bound on
+// a hostile length prefix, and either return a valid envelope or an error —
+// and anything that decodes must re-encode to a frame that decodes to the
+// same envelope.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with every message kind plus the classic corruptions.
+	seed := func(kind Kind, msg any) {
+		env, err := seal(kind, msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, env, 0); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 6 {
+			f.Add(buf.Bytes()[:buf.Len()/2]) // torn payload
+			f.Add(buf.Bytes()[:3])           // torn prefix
+		}
+	}
+	seed(KindClaimRequest, sweepfarm.ClaimRequest{Worker: "w0"})
+	seed(KindClaimReply, sweepfarm.ClaimReply{OK: true, LeaseID: 1, Cell: sweepfarm.Cell{Index: 2, Key: "k", Label: "l"}})
+	seed(KindHeartbeatRequest, sweepfarm.HeartbeatRequest{Worker: "w0", LeaseID: 1})
+	seed(KindHeartbeatReply, sweepfarm.HeartbeatReply{OK: true})
+	seed(KindCompleteRequest, sweepfarm.CompleteRequest{Worker: "w0", Artifact: []byte{1, 2, 3}})
+	seed(KindCompleteReply, sweepfarm.CompleteReply{Accepted: true})
+	seed(KindError, errorBody{Message: "no"})
+
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge, 1<<31)
+	f.Add(huge)
+	f.Add([]byte{0, 0, 0, 0})
+
+	// A small bound keeps the fuzzer fast and makes over-allocation (a
+	// frame body bigger than the bound surviving decode) detectable.
+	const bound = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadFrame(bytes.NewReader(data), bound)
+		if err != nil {
+			return
+		}
+		if env.V != Version || !knownKind(env.Kind) {
+			t.Fatalf("decode accepted invalid envelope %+v", env)
+		}
+		if len(env.Body) > bound {
+			t.Fatalf("decoded body of %d bytes past the %d bound", len(env.Body), bound)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, env, bound); err != nil {
+			t.Fatalf("re-encoding decoded envelope: %v", err)
+		}
+		again, err := ReadFrame(&buf, bound)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded envelope: %v", err)
+		}
+		// Marshalling compacts RawMessage bodies, so compare against the
+		// compacted original.
+		var want bytes.Buffer
+		if len(env.Body) > 0 {
+			if err := json.Compact(&want, env.Body); err != nil {
+				t.Fatalf("decoded body is not valid JSON: %v", err)
+			}
+		}
+		if again.V != env.V || again.Kind != env.Kind || !bytes.Equal(again.Body, want.Bytes()) {
+			t.Fatalf("round-trip drifted: %+v vs %+v", env, again)
+		}
+	})
+}

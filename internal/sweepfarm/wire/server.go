@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mlorass/internal/sweepfarm"
+)
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// MaxFrame overrides DefaultMaxFrame.
+	MaxFrame int
+	// ReplyTimeout bounds writing one reply frame. Zero means 5s. A worker
+	// too slow to take a reply is cut loose (its lease expires, the farm
+	// re-leases) rather than allowed to wedge a handler goroutine.
+	ReplyTimeout time.Duration
+	// Logf receives per-connection protocol errors (torn frames, garbled
+	// requests). Nil discards them — they are a remote peer's problem and
+	// never the coordinator's.
+	Logf func(format string, args ...any)
+}
+
+// Server exposes a local sweepfarm.Transport — normally the *Coordinator
+// itself — to remote wire.Clients. One goroutine per connection; each
+// connection is a serial request-reply stream. A request that fails to
+// decode gets a KindError reply (when the stream is still writable) and the
+// connection is closed: framing errors poison only their connection, never
+// the coordinator.
+//
+// A transport-level error from the wrapped Transport also becomes a
+// KindError reply — on the worker side that surfaces as a definitive
+// rejection, mirroring what an in-process worker would see as a returned
+// error.
+type Server struct {
+	tr  sweepfarm.Transport
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps tr for serving.
+func NewServer(tr sweepfarm.Transport, cfg ServerConfig) *Server {
+	return &Server{tr: tr, cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It blocks, returning nil
+// after a clean Close and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("wire: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close drains the server: stop accepting, unblock every idle read, and
+// wait for in-flight handlers to finish their current request. Connections
+// are not snapped mid-reply — a handler that has decoded a request gets to
+// write its answer before its next read fails.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		// A deadline in the past fails the blocked (or next) read
+		// immediately; the in-flight reply write has its own deadline.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// handle runs one connection's serial request-reply loop.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	for {
+		env, err := ReadFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			// EOF is the peer hanging up; everything else poisons the
+			// stream. Either way this connection is done — tell the peer
+			// when the frame was garbled (best effort; its conn may be
+			// gone) and drop it.
+			if errors.Is(err, ErrBadFrame) || errors.Is(err, ErrFrameTooBig) {
+				s.logf("wire: %s: %v", conn.RemoteAddr(), err)
+				s.reply(conn, envelope{}, fmt.Errorf("undecodable request: %v", err))
+			}
+			return
+		}
+		req, err := decodeRequest(env)
+		if err != nil {
+			s.logf("wire: %s: %v", conn.RemoteAddr(), err)
+			s.reply(conn, envelope{}, fmt.Errorf("undecodable %s request: %v", env.Kind, err))
+			return
+		}
+		rep, err := s.dispatch(req)
+		if err != nil {
+			if !s.reply(conn, envelope{}, err) {
+				return
+			}
+			continue
+		}
+		if !s.reply(conn, rep, nil) {
+			return
+		}
+	}
+}
+
+// dispatch routes one decoded request through the wrapped Transport.
+func (s *Server) dispatch(req any) (envelope, error) {
+	switch req := req.(type) {
+	case sweepfarm.ClaimRequest:
+		rep, err := s.tr.Claim(req)
+		if err != nil {
+			return envelope{}, err
+		}
+		return seal(KindClaimReply, rep)
+	case sweepfarm.HeartbeatRequest:
+		rep, err := s.tr.Heartbeat(req)
+		if err != nil {
+			return envelope{}, err
+		}
+		return seal(KindHeartbeatReply, rep)
+	case sweepfarm.CompleteRequest:
+		rep, err := s.tr.Complete(req)
+		if err != nil {
+			return envelope{}, err
+		}
+		return seal(KindCompleteReply, rep)
+	default:
+		return envelope{}, fmt.Errorf("unroutable request type %T", req)
+	}
+}
+
+// reply writes rep, or a KindError envelope carrying cause when cause is
+// non-nil. It reports whether the connection is still usable.
+func (s *Server) reply(conn net.Conn, rep envelope, cause error) bool {
+	if cause != nil {
+		var err error
+		rep, err = seal(KindError, errorBody{Message: cause.Error()})
+		if err != nil {
+			return false
+		}
+	}
+	timeout := s.cfg.ReplyTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return false
+	}
+	if err := WriteFrame(conn, rep, s.cfg.MaxFrame); err != nil {
+		return false
+	}
+	return true
+}
+
+// logf forwards to cfg.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,197 @@
+// Package wire carries the sweep-farm protocol over a byte stream. It is
+// the TCP half of the farm: a length-prefixed JSON codec for the five
+// protocol messages, a Client that implements sweepfarm.Transport by
+// dialling a coordinator, and a Server that exposes a local Transport
+// (normally the *sweepfarm.Coordinator itself) to remote workers.
+//
+// The framing is deliberately dumb: a 4-byte big-endian length followed by
+// one JSON envelope {v, kind, body}. Dumb framing keeps the failure model
+// honest — any connection error, torn frame, or unparseable reply maps to
+// sweepfarm.ErrLost ("the call failed and the sender cannot know whether the
+// receiver processed it"), which is the one semantic the farm's convergence
+// proofs are built on. The codec never trusts the peer: lengths are bounds-
+// checked before any allocation, unknown envelope versions and kinds are
+// errors, and a request that fails to decode poisons only its connection,
+// never the coordinator.
+//
+// This package intentionally sits outside detlint's clock confinement (that
+// is scoped to the sweepfarm and faultinject package names): socket
+// deadlines are wall-clock business, and the fault harness injects at the
+// net.Conn layer instead.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"mlorass/internal/sweepfarm"
+)
+
+// Version is the envelope version this build speaks. A peer announcing any
+// other version is rejected — the farm's two halves ship in one binary, so a
+// mismatch means operator error, not a negotiation opportunity.
+const Version = 1
+
+// DefaultMaxFrame bounds one frame (8 MiB). Artefacts for keyed cells travel
+// through the shared store, not the wire, so real frames are tiny; the bound
+// exists so a corrupt or hostile length prefix cannot make a peer allocate
+// gigabytes before reading a single payload byte.
+const DefaultMaxFrame = 8 << 20
+
+// Kind tags the message inside an envelope.
+type Kind string
+
+// The five protocol messages plus the error reply. An ErrorReply is a
+// *definitive* answer — the coordinator received, decoded and rejected the
+// request — so the client surfaces it as a plain error, NOT as ErrLost: the
+// caller must not retry a request the coordinator has already refused.
+const (
+	KindClaimRequest     Kind = "claim"
+	KindClaimReply       Kind = "claim.reply"
+	KindHeartbeatRequest Kind = "heartbeat"
+	KindHeartbeatReply   Kind = "heartbeat.reply"
+	KindCompleteRequest  Kind = "complete"
+	KindCompleteReply    Kind = "complete.reply"
+	KindError            Kind = "error"
+)
+
+// replyKind maps each request kind to the reply kind it expects.
+var replyKind = map[Kind]Kind{
+	KindClaimRequest:     KindClaimReply,
+	KindHeartbeatRequest: KindHeartbeatReply,
+	KindCompleteRequest:  KindCompleteReply,
+}
+
+// envelope is the one JSON document a frame carries.
+type envelope struct {
+	V    int             `json:"v"`
+	Kind Kind            `json:"kind"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// errorBody is KindError's payload.
+type errorBody struct {
+	Message string `json:"message"`
+}
+
+// Decode errors. ErrFrameTooBig and ErrBadFrame poison the connection (the
+// stream position is unrecoverable); they are distinct so tests and metrics
+// can tell a hostile length from a torn stream.
+var (
+	// ErrFrameTooBig reports a length prefix past the frame bound.
+	ErrFrameTooBig = errors.New("wire: frame exceeds size bound")
+	// ErrBadFrame reports an undecodable frame: torn, empty, not JSON, or
+	// an envelope with an unknown version or kind.
+	ErrBadFrame = errors.New("wire: bad frame")
+)
+
+// WriteFrame encodes env and writes it as one length-prefixed frame in a
+// single Write call. One Write per frame is a deliberate invariant: the
+// fault-injection conn counts and tears *frames*, and a frame split across
+// writes would blur what "torn" means.
+func WriteFrame(w io.Writer, env envelope, maxFrame int) error {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("wire: encoding %s: %w", env.Kind, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("%w: %s frame is %d bytes (bound %d)", ErrFrameTooBig, env.Kind, len(body), maxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame and decodes its envelope. The length is bounds-
+// checked before the payload buffer is allocated, so a hostile prefix costs
+// at most the 4 bytes already read. Any error other than a clean EOF before
+// the first byte leaves the stream unusable.
+func ReadFrame(r io.Reader, maxFrame int) (envelope, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return envelope{}, fmt.Errorf("%w: torn length prefix: %v", ErrBadFrame, err)
+		}
+		return envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return envelope{}, fmt.Errorf("%w: zero-length frame", ErrBadFrame)
+	}
+	if n > uint32(maxFrame) {
+		return envelope{}, fmt.Errorf("%w: %d bytes (bound %d)", ErrFrameTooBig, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return envelope{}, fmt.Errorf("%w: torn payload after %d-byte prefix: %v", ErrBadFrame, n, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return envelope{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if env.V != Version {
+		return envelope{}, fmt.Errorf("%w: envelope version %d (speak %d)", ErrBadFrame, env.V, Version)
+	}
+	if !knownKind(env.Kind) {
+		return envelope{}, fmt.Errorf("%w: unknown kind %q", ErrBadFrame, env.Kind)
+	}
+	return env, nil
+}
+
+func knownKind(k Kind) bool {
+	switch k {
+	case KindClaimRequest, KindClaimReply, KindHeartbeatRequest,
+		KindHeartbeatReply, KindCompleteRequest, KindCompleteReply, KindError:
+		return true
+	}
+	return false
+}
+
+// seal wraps a message body into a versioned envelope.
+func seal(kind Kind, body any) (envelope, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return envelope{}, fmt.Errorf("wire: encoding %s body: %w", kind, err)
+	}
+	return envelope{V: Version, Kind: kind, Body: raw}, nil
+}
+
+// open decodes env's body into out after checking the kind matches.
+func open(env envelope, want Kind, out any) error {
+	if env.Kind != want {
+		return fmt.Errorf("%w: got %q, want %q", ErrBadFrame, env.Kind, want)
+	}
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return fmt.Errorf("%w: %s body: %v", ErrBadFrame, want, err)
+	}
+	return nil
+}
+
+// decodeRequest decodes a request envelope into the matching protocol
+// struct, for the server's dispatch loop.
+func decodeRequest(env envelope) (any, error) {
+	switch env.Kind {
+	case KindClaimRequest:
+		var req sweepfarm.ClaimRequest
+		return req, open(env, env.Kind, &req)
+	case KindHeartbeatRequest:
+		var req sweepfarm.HeartbeatRequest
+		return req, open(env, env.Kind, &req)
+	case KindCompleteRequest:
+		var req sweepfarm.CompleteRequest
+		return req, open(env, env.Kind, &req)
+	default:
+		return nil, fmt.Errorf("%w: %q is not a request kind", ErrBadFrame, env.Kind)
+	}
+}

@@ -51,6 +51,11 @@ type Hooks interface {
 // ErrCrashed is returned by Worker.Run when a hook aborted it.
 var ErrCrashed = errors.New("sweepfarm: worker crashed (injected)")
 
+// ErrUnreachable is returned by Worker.Run when every transport call has
+// failed for longer than WorkerConfig.GiveUp: the coordinator is presumed
+// gone and the worker process should exit rather than poll forever.
+var ErrUnreachable = errors.New("sweepfarm: coordinator unreachable")
+
 // WorkerConfig tunes one worker process.
 type WorkerConfig struct {
 	// ID names the worker in leases and events.
@@ -72,6 +77,12 @@ type WorkerConfig struct {
 	// ClaimStale is the age past which another writer's advisory store
 	// claim is presumed crashed and broken. Zero means 1 minute.
 	ClaimStale time.Duration
+	// GiveUp is how long the worker tolerates nothing but transport
+	// failures before concluding the coordinator is gone and exiting with
+	// ErrUnreachable — the supervision signal for a worker process whose
+	// coordinator died or was partitioned away. Zero means never give up
+	// (an in-process coordinator cannot vanish).
+	GiveUp time.Duration
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -140,15 +151,21 @@ func (w *Worker) Run() error {
 
 // slot is one claim-compute-complete loop.
 func (w *Worker) slot() error {
+	lastOK := w.clock.Now()
 	for {
 		if err := w.phase(PhasePreClaim, Cell{Index: -1}); err != nil {
 			return err
 		}
 		rep, err := w.coord.Claim(ClaimRequest{Worker: w.cfg.ID})
 		if err != nil {
+			if w.cfg.GiveUp > 0 && w.clock.Now().Sub(lastOK) >= w.cfg.GiveUp {
+				return fmt.Errorf("%w: no successful call for %v (last transport error: %v)",
+					ErrUnreachable, w.cfg.GiveUp, err)
+			}
 			w.sleep(w.cfg.Poll)
 			continue
 		}
+		lastOK = w.clock.Now()
 		if rep.Done {
 			return nil
 		}
@@ -159,6 +176,7 @@ func (w *Worker) slot() error {
 		if err := w.process(rep); err != nil {
 			return err
 		}
+		lastOK = w.clock.Now()
 	}
 }
 
@@ -177,9 +195,15 @@ func (w *Worker) process(lease ClaimReply) error {
 		req.Failed = err.Error()
 	default:
 		req.Cached = cached
-		if cell.Key == "" {
+		switch {
+		case cell.Key == "":
 			req.Artifact = data
-		} else if !cached {
+		case w.store == nil:
+			// A keyed cell needs the shared store to carry its artefact; a
+			// worker started without one (a misconfigured remote process)
+			// must fail the attempt loudly, not panic in publish.
+			req.Failed = fmt.Sprintf("cell %d is store-backed (key %.12s…) but this worker has no artefact store", cell.Index, cell.Key)
+		case !cached:
 			if err := w.publish(cell, data); err != nil {
 				req.Failed = fmt.Sprintf("publishing artefact: %v", err)
 			}
@@ -249,8 +273,15 @@ func (w *Worker) publish(cell Cell, data []byte) error {
 		if d, found, _ := w.store.Get(cell.Key); found && w.verifyOK(cell, d) {
 			return nil
 		}
-		if _, since, held, _ := w.store.ClaimInfo(cell.Key); held && w.clock.Now().Sub(since) > w.cfg.ClaimStale {
-			if err := w.store.Release(cell.Key); err != nil {
+		if owner, since, held, _ := w.store.ClaimInfo(cell.Key); held && w.clock.Now().Sub(since) > w.cfg.ClaimStale {
+			// Break exactly the claim observed stale — conditionally. In the
+			// window between the observation and the break, the holder may
+			// release and another worker take a *fresh* claim; an
+			// unconditional Release here would destroy that live claim
+			// mid-write. BreakClaim compares owner + take time and refuses
+			// if the claim is no longer the one that went stale; either way
+			// the loop re-reads the world and retries.
+			if _, err := w.store.BreakClaim(cell.Key, owner, since); err != nil {
 				return err
 			}
 			continue
@@ -267,15 +298,12 @@ func (w *Worker) verifyOK(cell Cell, data []byte) bool {
 // startHeartbeats extends the lease on a period well inside its TTL until
 // the returned stop is called. Heartbeat failures are ignored: a stale
 // lease just means another worker took over, and the completion protocol
-// already tolerates that.
+// already tolerates that. A configured period at or past the lease TTL is
+// clamped to TTL/3: honouring it would guarantee every lease expires
+// mid-compute and the sweep would thrash through retries without ever
+// being told why.
 func (w *Worker) startHeartbeats(lease ClaimReply) (stop func()) {
-	period := w.cfg.Heartbeat
-	if period <= 0 {
-		period = lease.TTL / 3
-	}
-	if period <= 0 {
-		period = time.Second
-	}
+	period := heartbeatPeriod(w.cfg.Heartbeat, lease.TTL)
 	stopCh := make(chan struct{})
 	doneCh := make(chan struct{})
 	go func() {
@@ -294,6 +322,21 @@ func (w *Worker) startHeartbeats(lease ClaimReply) (stop func()) {
 		close(stopCh)
 		<-doneCh
 	}
+}
+
+// heartbeatPeriod resolves the configured heartbeat period against the lease
+// TTL it must keep alive. A period at or past the TTL can never land a beat
+// in time, so it is clamped to TTL/3 (as is an unset period); with no TTL to
+// derive from either, a one-second default applies.
+func heartbeatPeriod(configured, ttl time.Duration) time.Duration {
+	period := configured
+	if period <= 0 || (ttl > 0 && period >= ttl) {
+		period = ttl / 3
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	return period
 }
 
 // phase runs the crash hook.

@@ -1,0 +1,289 @@
+package sweepfarm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHeartbeatPeriodClamp pins the period resolution: a configured period
+// at or past the lease TTL would guarantee the lease expires mid-compute, so
+// it is clamped to TTL/3 exactly like an unset one.
+func TestHeartbeatPeriodClamp(t *testing.T) {
+	cases := []struct {
+		configured, ttl, want time.Duration
+	}{
+		{0, 30 * time.Second, 10 * time.Second},                // unset: derive TTL/3
+		{5 * time.Second, 30 * time.Second, 5 * time.Second},   // sane: honoured
+		{30 * time.Second, 30 * time.Second, 10 * time.Second}, // == TTL: clamp
+		{60 * time.Second, 30 * time.Second, 10 * time.Second}, // > TTL: clamp
+		{-time.Second, 30 * time.Second, 10 * time.Second},     // negative: derive
+		{0, 0, time.Second},                   // nothing to derive from
+		{2 * time.Second, 0, 2 * time.Second}, // no TTL: honoured
+	}
+	for _, c := range cases {
+		if got := heartbeatPeriod(c.configured, c.ttl); got != c.want {
+			t.Errorf("heartbeatPeriod(%v, %v) = %v, want %v", c.configured, c.ttl, got, c.want)
+		}
+	}
+}
+
+// beatRecorder is a Transport that only records heartbeats.
+type beatRecorder struct {
+	beats chan HeartbeatRequest
+}
+
+func (b *beatRecorder) Claim(ClaimRequest) (ClaimReply, error) { return ClaimReply{}, nil }
+func (b *beatRecorder) Heartbeat(req HeartbeatRequest) (HeartbeatReply, error) {
+	b.beats <- req
+	return HeartbeatReply{OK: true}, nil
+}
+func (b *beatRecorder) Complete(CompleteRequest) (CompleteReply, error) {
+	return CompleteReply{Accepted: true}, nil
+}
+
+// pendingWaiters reports how many After waiters the fake clock holds — the
+// test's synchronisation point with the heartbeat goroutine.
+func pendingWaiters(c *FakeClock) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+func awaitWaiter(c *FakeClock) {
+	for pendingWaiters(c) == 0 {
+		runtime.Gosched()
+	}
+}
+
+// TestStartHeartbeatsBeatsInsideMisconfiguredTTL drives the heartbeat loop
+// on a fake clock with Heartbeat configured at twice the lease TTL — the
+// misconfiguration that used to mean no beat could ever land in time — and
+// proves beats now fire every TTL/3.
+func TestStartHeartbeatsBeatsInsideMisconfiguredTTL(t *testing.T) {
+	clock := NewFakeClock(t0)
+	tr := &beatRecorder{beats: make(chan HeartbeatRequest, 8)}
+	w := NewWorker(WorkerConfig{ID: "w0", Heartbeat: 60 * time.Second}, tr, nil, nil, nil, clock, nil)
+	stop := w.startHeartbeats(ClaimReply{OK: true, LeaseID: 42, TTL: 30 * time.Second})
+	defer stop()
+
+	const clamped = 10 * time.Second // TTL/3
+	for beat := 1; beat <= 3; beat++ {
+		awaitWaiter(clock)
+		clock.Advance(clamped - time.Millisecond)
+		select {
+		case req := <-tr.beats:
+			t.Fatalf("beat %d fired %v early: %+v", beat, time.Millisecond, req)
+		default:
+		}
+		clock.Advance(time.Millisecond)
+		req := <-tr.beats
+		if req.LeaseID != 42 || req.Worker != "w0" {
+			t.Fatalf("beat %d = %+v, want lease 42 from w0", beat, req)
+		}
+		if want := t0.Add(time.Duration(beat) * clamped); !req.SentAt.Equal(want) {
+			t.Fatalf("beat %d SentAt = %v, want %v", beat, req.SentAt, want)
+		}
+	}
+}
+
+// raceStore scripts the exact TOCTOU interleaving the publish path must
+// survive: the worker observes a stale claim, and in the window before it
+// acts, the holder releases and a different live worker takes a fresh claim.
+type raceStore struct {
+	mu    sync.Mutex
+	owner string
+	since time.Time
+	data  []byte
+
+	// afterInfo runs after ClaimInfo reports, simulating the race window.
+	afterInfo func(s *raceStore)
+
+	puts, releases int
+	breaks         []string
+}
+
+func (s *raceStore) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data, s.data != nil, nil
+}
+
+func (s *raceStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	s.data = append([]byte(nil), data...)
+	return nil
+}
+
+func (s *raceStore) Claim(key, owner string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.owner != "" {
+		return false, nil
+	}
+	s.owner = owner
+	return true, nil
+}
+
+func (s *raceStore) Release(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.releases++
+	s.owner, s.since = "", time.Time{}
+	return nil
+}
+
+func (s *raceStore) ClaimInfo(key string) (string, time.Time, bool, error) {
+	s.mu.Lock()
+	owner, since, held := s.owner, s.since, s.owner != ""
+	after := s.afterInfo
+	s.afterInfo = nil
+	s.mu.Unlock()
+	if after != nil {
+		after(s)
+	}
+	return owner, since, held, nil
+}
+
+func (s *raceStore) BreakClaim(key, owner string, since time.Time) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.breaks = append(s.breaks, fmt.Sprintf("%s@%s", owner, since.UTC().Format(time.RFC3339)))
+	if s.owner != owner || !s.since.Equal(since) {
+		return false, nil
+	}
+	s.owner, s.since = "", time.Time{}
+	return true, nil
+}
+
+// TestPublishRefusesToBreakFreshClaim is the regression test for the
+// check-then-act race in Worker.publish: it used to break a stale claim with
+// an unconditional Release, which could destroy a *fresh* claim taken by a
+// live worker in the window after the staleness check. The conditional
+// BreakClaim must refuse, leave the fresh claim standing, and the worker
+// must fall through to adopting the fresh holder's published artefact.
+func TestPublishRefusesToBreakFreshClaim(t *testing.T) {
+	clock := NewFakeClock(t0)
+	staleSince := t0.Add(-time.Hour)
+	store := &raceStore{owner: "dead", since: staleSince}
+	store.afterInfo = func(s *raceStore) {
+		// The race window: the stale holder's claim is reaped elsewhere and
+		// live worker w9 takes a fresh one, publishing shortly after.
+		s.mu.Lock()
+		s.owner, s.since = "w9", t0
+		s.data = []byte("artefact-from-w9")
+		s.mu.Unlock()
+	}
+	w := NewWorker(WorkerConfig{ID: "w0"}, nil, store, nil, nil, clock, nil)
+
+	if err := w.publish(Cell{Index: 0, Key: "k"}, []byte("artefact-from-w0")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if store.releases != 0 {
+		t.Fatalf("publish released %d claims it did not hold; the conditional break must never touch a fresh claim", store.releases)
+	}
+	if want := []string{"dead@" + staleSince.UTC().Format(time.RFC3339)}; len(store.breaks) != 1 || store.breaks[0] != want[0] {
+		t.Fatalf("breaks = %v, want exactly %v", store.breaks, want)
+	}
+	if store.owner != "w9" {
+		t.Fatalf("fresh claim owner = %q, want w9 still holding", store.owner)
+	}
+	if store.puts != 0 {
+		t.Fatalf("puts = %d; the worker must adopt w9's artefact, not overwrite mid-claim", store.puts)
+	}
+}
+
+// TestPublishStillBreaksGenuinelyStaleClaim pins the other side: when the
+// stale claim really is the current one, the conditional break succeeds and
+// the worker goes on to publish under its own claim.
+func TestPublishStillBreaksGenuinelyStaleClaim(t *testing.T) {
+	clock := NewFakeClock(t0)
+	store := &raceStore{owner: "dead", since: t0.Add(-time.Hour)}
+	w := NewWorker(WorkerConfig{ID: "w0"}, nil, store, nil, nil, clock, nil)
+
+	if err := w.publish(Cell{Index: 0, Key: "k"}, []byte("artefact")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if len(store.breaks) != 1 {
+		t.Fatalf("breaks = %v, want the stale claim broken once", store.breaks)
+	}
+	if store.puts != 1 || string(store.data) != "artefact" {
+		t.Fatalf("puts = %d data = %q; want the artefact published after the break", store.puts, store.data)
+	}
+	if store.releases != 1 || store.owner != "" {
+		t.Fatalf("releases = %d owner = %q; want the worker's own claim released", store.releases, store.owner)
+	}
+}
+
+// flakyTransport fails every Claim except one mid-run success, counting
+// attempts.
+type flakyTransport struct {
+	mu      sync.Mutex
+	claims  int
+	okClaim int // claim number that succeeds (with an empty "nothing claimable" reply)
+}
+
+func (f *flakyTransport) Claim(ClaimRequest) (ClaimReply, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.claims++
+	if f.claims == f.okClaim {
+		return ClaimReply{}, nil
+	}
+	return ClaimReply{}, fmt.Errorf("%w: injected", ErrLost)
+}
+
+func (f *flakyTransport) Heartbeat(HeartbeatRequest) (HeartbeatReply, error) {
+	return HeartbeatReply{}, fmt.Errorf("%w: injected", ErrLost)
+}
+
+func (f *flakyTransport) Complete(CompleteRequest) (CompleteReply, error) {
+	return CompleteReply{}, fmt.Errorf("%w: injected", ErrLost)
+}
+
+func (f *flakyTransport) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.claims
+}
+
+// TestWorkerGivesUpWhenCoordinatorUnreachable proves the supervision signal:
+// a worker whose every transport call fails for GiveUp exits with
+// ErrUnreachable instead of polling forever — and a single successful call
+// resets the deadline.
+func TestWorkerGivesUpWhenCoordinatorUnreachable(t *testing.T) {
+	clock := NewFakeClock(t0)
+	tr := &flakyTransport{okClaim: 6}
+	w := NewWorker(WorkerConfig{
+		ID: "w0", Poll: time.Second, GiveUp: 10 * time.Second,
+	}, tr, nil, nil, nil, clock, nil)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Run() }()
+
+	for {
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, ErrUnreachable) {
+				t.Fatalf("Run: %v, want ErrUnreachable", err)
+			}
+			// Claim n happens at fake time t0+(n-1)s. Claim 6 succeeds at
+			// +5s and resets the deadline, so the worker must survive past
+			// the original +10s mark and give up only at +15s — claim 16.
+			if got := tr.count(); got != 16 {
+				t.Fatalf("claims = %d, want 16 (success at claim 6 must reset the give-up deadline)", got)
+			}
+			return
+		default:
+		}
+		if pendingWaiters(clock) > 0 {
+			clock.Advance(time.Second)
+		}
+		runtime.Gosched()
+	}
+}
